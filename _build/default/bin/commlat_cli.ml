@@ -1,0 +1,159 @@
+(* The commlat command-line tool: work with textual commutativity
+   specifications (see Spec_lang and examples/specs/).
+
+     commlat classify FILE        classification + per-condition breakdown
+     commlat matrix FILE          synthesized abstract-lock matrix (SIMPLE)
+     commlat check FILE           parse + well-formedness + totality report
+     commlat order FILE1 FILE2    lattice comparison of two specs
+     commlat print FILE           canonical re-print (round-trips) *)
+
+open Commlat_core
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Spec_lang.parse (read_file path) with
+  | spec -> spec
+  | exception Spec_lang.Parse_error (pos, msg) ->
+      Fmt.epr "%s: %a@." path Spec_lang.pp_error (pos, msg);
+      exit 2
+
+let spec_file_arg ?(pos = 0) () =
+  let p = pos in
+  Arg.(required & pos p (some file) None & info [] ~docv:"SPEC" ~doc:"Specification file.")
+
+(* ---- classify ---- *)
+
+let classify_cmd =
+  let run path =
+    let spec = load path in
+    Fmt.pr "spec %s: %a@." (Spec.adt spec) Formula.pp_cls (Spec.classify spec);
+    Fmt.pr "@.per-condition breakdown:@.";
+    List.iter
+      (fun ((m1, m2), f) ->
+        Fmt.pr "  %-12s ; %-12s %-18s %a@." m1 m2
+          (Fmt.str "%a" Formula.pp_cls (Formula.classify f))
+          Formula.pp f)
+      (Spec.pairs spec);
+    Fmt.pr
+      "@.implementation: %s@."
+      (match Spec.classify spec with
+      | Formula.Simple -> "abstract locking (paper §3.2)"
+      | Formula.Online -> "forward gatekeeper (paper §3.3.1)"
+      | Formula.General -> "general gatekeeper with state rollback (paper §3.3.2)")
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify a specification (SIMPLE / ONLINE-CHECKABLE / GENERAL).")
+    Term.(const run $ spec_file_arg ())
+
+(* ---- matrix ---- *)
+
+let matrix_cmd =
+  let run path reduce =
+    let spec = load path in
+    match Abstract_lock.construct spec with
+    | scheme ->
+        let scheme = if reduce then Abstract_lock.reduce scheme else scheme in
+        Fmt.pr "abstract-lock compatibility matrix for %s%s:@.%a@."
+          (Spec.adt spec)
+          (if reduce then " (reduced)" else "")
+          (Abstract_lock.pp_matrix ~only_used:reduce)
+          scheme
+    | exception Abstract_lock.Not_simple (m1, m2, f) ->
+        Fmt.epr
+          "%s is not SIMPLE: condition for (%s, %s) is %a@.No sound and \
+           complete abstract locking scheme exists (Theorem 1); use a \
+           gatekeeper, or strengthen the spec to its SIMPLE core.@."
+          (Spec.adt spec) m1 m2 Formula.pp f;
+        exit 1
+  in
+  let reduce =
+    Arg.(value & flag & info [ "reduce"; "r" ] ~doc:"Drop superfluous modes (Fig. 8b).")
+  in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Synthesize the abstract-locking scheme of a SIMPLE spec.")
+    Term.(const run $ spec_file_arg () $ reduce)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run path =
+    let spec = load path in
+    Spec.validate spec;
+    let methods = Spec.methods spec in
+    let missing = ref [] in
+    List.iter
+      (fun (m1 : Invocation.meth) ->
+        List.iter
+          (fun (m2 : Invocation.meth) ->
+            if
+              not
+                (List.mem_assoc (m1.Invocation.name, m2.Invocation.name)
+                   (Spec.pairs spec))
+            then missing := (m1.Invocation.name, m2.Invocation.name) :: !missing)
+          methods)
+      methods;
+    Fmt.pr "%s: %d methods, %d conditions, classification %a@." (Spec.adt spec)
+      (List.length methods)
+      (List.length (Spec.pairs spec))
+      Formula.pp_cls (Spec.classify spec);
+    (match !missing with
+    | [] -> Fmt.pr "total: every ordered method pair has a condition@."
+    | ms ->
+        Fmt.pr "missing (default to 'never', i.e. always conflict):@.";
+        List.iter (fun (a, b) -> Fmt.pr "  %s ; %s@." a b) (List.rev ms));
+    (* strengthening hint *)
+    if Spec.classify spec <> Formula.Simple then
+      Fmt.pr "@.SIMPLE core (lockable strengthening, paper §4.1):@.%a"
+        Spec_lang.print_spec
+        (Strengthen.simple_spec ~adt:(Spec.adt spec ^ "_simple") spec)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and report on a specification.")
+    Term.(const run $ spec_file_arg ())
+
+(* ---- order ---- *)
+
+let order_cmd =
+  let run p1 p2 =
+    let s1 = load p1 and s2 = load p2 in
+    let le12 = Lattice.spec_leq s1 s2 and le21 = Lattice.spec_leq s2 s1 in
+    (match (le12, le21) with
+    | true, true -> Fmt.pr "%s and %s are equivalent@." (Spec.adt s1) (Spec.adt s2)
+    | true, false ->
+        Fmt.pr "%s < %s : the first is a strengthening (fewer commutes, \
+                cheaper schemes)@."
+          (Spec.adt s1) (Spec.adt s2)
+    | false, true ->
+        Fmt.pr "%s < %s : the second is a strengthening@." (Spec.adt s2) (Spec.adt s1)
+    | false, false ->
+        Fmt.pr "%s and %s are incomparable (syntactic check)@." (Spec.adt s1)
+          (Spec.adt s2));
+    exit (if le12 || le21 then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "order" ~doc:"Compare two specifications in the commutativity lattice.")
+    Term.(const run $ spec_file_arg ~pos:0 () $ spec_file_arg ~pos:1 ())
+
+(* ---- print ---- *)
+
+let print_cmd =
+  let run path =
+    let spec = load path in
+    Fmt.pr "%a" Spec_lang.print_spec spec
+  in
+  Cmd.v
+    (Cmd.info "print" ~doc:"Re-print a specification in canonical form.")
+    Term.(const run $ spec_file_arg ())
+
+let () =
+  let info =
+    Cmd.info "commlat" ~version:"1.0.0"
+      ~doc:"Work with commutativity specifications (PLDI 2011 lattice framework)."
+  in
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; matrix_cmd; check_cmd; order_cmd; print_cmd ]))

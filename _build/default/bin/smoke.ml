@@ -1,0 +1,101 @@
+(* Quick end-to-end smoke of every subsystem; superseded by the test suite
+   but kept as a fast sanity binary: dune exec bin/smoke.exe *)
+
+open Commlat_core
+open Commlat_adts
+open Commlat_runtime
+open Commlat_apps
+
+let pf = Format.printf
+
+let () =
+  (* --- specs and classification --- *)
+  let precise = Iset.precise_spec () in
+  let simple = Iset.simple_spec () in
+  pf "set precise spec class: %a@." Formula.pp_cls (Spec.classify precise);
+  pf "set simple  spec class: %a@." Formula.pp_cls (Spec.classify simple);
+  pf "kdtree spec class: %a@." Formula.pp_cls (Spec.classify (Kdtree.spec ()));
+  pf "union-find spec class: %a@." Formula.pp_cls (Spec.classify (Union_find.spec ()));
+  assert (Lattice.spec_leq simple precise);
+  assert (not (Lattice.spec_leq precise simple));
+
+  (* --- abstract lock construction: accumulator (Fig. 8) --- *)
+  let acc_scheme = Abstract_lock.construct (Accumulator.spec ()) in
+  pf "@.accumulator compatibility matrix (full):@.%a"
+    (Abstract_lock.pp_matrix ~only_used:false) acc_scheme;
+  let reduced = Abstract_lock.reduce acc_scheme in
+  pf "reduced:@.%a" (Abstract_lock.pp_matrix ~only_used:true) reduced;
+
+  (* --- set microbenchmark, tiny --- *)
+  List.iter
+    (fun s ->
+      let r = Set_micro.run ~threads:4 ~classes:10 ~n:2000 s in
+      pf "set-micro %-14s aborts=%5.2f%% makespan=%6.0f wall=%.3fs@."
+        (Set_micro.scheme_name s) r.Set_micro.abort_pct r.Set_micro.makespan
+        r.Set_micro.wall_s)
+    Set_micro.all_schemes;
+
+  (* --- preflow push on a small genrmf --- *)
+  let inp = Genrmf.generate ~a:3 ~b:4 () in
+  let expected =
+    Reference.max_flow ~n:inp.Genrmf.n ~source:inp.Genrmf.source
+      ~sink:inp.Genrmf.sink inp.Genrmf.edges
+  in
+  let p = Preflow_push.of_genrmf inp in
+  let det = Abstract_lock.detector (Flow_graph.spec_rw ()) in
+  let flow, stats = Preflow_push.run ~processors:4 ~detector:det p in
+  pf "@.preflow-push rw: flow=%d (expected %d) %a@." flow expected
+    Executor.pp_stats stats;
+  assert (flow = expected);
+
+  (* --- boruvka on a small mesh, general gatekeeper --- *)
+  let mesh = Mesh.generate ~rows:8 ~cols:8 () in
+  let expected_w = Reference.mst_weight ~n:mesh.Mesh.nodes mesh.Mesh.edges in
+  let t = Boruvka.create ~mesh () in
+  let det, _gk = Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ()) in
+  let stats =
+    Executor.run_rounds ~processors:4
+      ~detector:(Boruvka.full_detector t det)
+      ~operator:(Boruvka.operator t det)
+      (List.init mesh.Mesh.nodes Fun.id)
+  in
+  let w = Boruvka.mst_weight t.Boruvka.mst in
+  pf "boruvka uf-gk: mst weight=%d (expected %d) %a@." w expected_w
+    Executor.pp_stats stats;
+  assert (w = expected_w);
+
+  (* --- clustering with forward gatekeeper --- *)
+  let pts = Point.random_cloud ~seed:5 ~dim:2 64 in
+  let tt = Clustering.create ~dims:2 () in
+  Clustering.load tt pts;
+  let det, _ = Gatekeeper.forward ~hooks:(Kdtree.hooks tt.Clustering.tree) (Kdtree.spec ()) in
+  let stats =
+    Executor.run_rounds ~processors:4 ~detector:det
+      ~operator:(Clustering.operator tt det) (Array.to_list pts)
+  in
+  pf "clustering kd-gk: merges=%d (expected %d) tree size=%d %a@."
+    (List.length tt.Clustering.dendrogram)
+    (Array.length pts - 1)
+    (Kdtree.size tt.Clustering.tree)
+    Executor.pp_stats stats;
+  assert (List.length tt.Clustering.dendrogram = Array.length pts - 1);
+  assert (Kdtree.size tt.Clustering.tree = 1);
+
+  (* --- boruvka with STM baseline --- *)
+  let mesh2 = Mesh.generate ~rows:6 ~cols:6 () in
+  let t2 = Boruvka.create ~mesh:mesh2 () in
+  let det2, tracer = Stm.create () in
+  Union_find.set_tracer t2.Boruvka.uf tracer;
+  let stats2 =
+    Executor.run_rounds ~processors:4
+      ~detector:(Boruvka.full_detector t2 det2)
+      ~operator:(Boruvka.operator t2 det2)
+      (List.init mesh2.Mesh.nodes Fun.id)
+  in
+  let w2 = Boruvka.mst_weight t2.Boruvka.mst in
+  pf "boruvka uf-ml: mst weight=%d (expected %d) %a@." w2
+    (Reference.mst_weight ~n:mesh2.Mesh.nodes mesh2.Mesh.edges)
+    Executor.pp_stats stats2;
+  assert (w2 = Reference.mst_weight ~n:mesh2.Mesh.nodes mesh2.Mesh.edges);
+
+  pf "@.ALL SMOKE CHECKS PASSED@."

@@ -1,0 +1,57 @@
+(* Maximum-flow demo: preflow-push over a GENRMF network with conflict
+   detectors drawn from three points of the commutativity lattice
+   (the paper's lock-coarsening case study, §5 and §4.2).
+
+     dune exec examples/maxflow_demo.exe -- [a] [b]
+
+   Generates an a*a*b RMF network, runs speculative preflow-push under
+   read/write node locks, exclusive node locks and 32-partition locks, and
+   checks every flow value against Edmonds-Karp. *)
+
+open Commlat_core
+open Commlat_adts
+open Commlat_runtime
+open Commlat_apps
+
+let pf = Format.printf
+
+let () =
+  let a = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4 in
+  let b = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 5 in
+  let inp = Genrmf.generate ~a ~b () in
+  let expected =
+    Reference.max_flow ~n:inp.Genrmf.n ~source:inp.Genrmf.source
+      ~sink:inp.Genrmf.sink inp.Genrmf.edges
+  in
+  pf "GENRMF a=%d b=%d: %d nodes, %d arcs; Edmonds-Karp max flow = %d@.@." a b
+    inp.Genrmf.n
+    (List.length inp.Genrmf.edges)
+    expected;
+
+  let variants =
+    [
+      ("rw node locks (ml)", fun _n -> Abstract_lock.detector (Flow_graph.spec_rw ()));
+      ("exclusive node locks (ex)", fun _n -> Abstract_lock.detector (Flow_graph.spec_exclusive ()));
+      ( "32-partition locks (part)",
+        fun n -> Abstract_lock.detector (Flow_graph.spec_partitioned ~nparts:32 ~n ()) );
+      ("global lock (bottom)", fun _n -> Detector.global_lock ());
+    ]
+  in
+  List.iter
+    (fun (label, mk) ->
+      let p = Preflow_push.of_genrmf inp in
+      let det = mk p.Preflow_push.n in
+      let flow, stats = Preflow_push.run ~processors:4 ~detector:det p in
+      pf "%-28s flow=%d %s  iterations=%d  aborts=%.1f%%  rounds=%d@." label flow
+        (if flow = expected then "(correct)" else "(WRONG!)")
+        stats.Executor.committed
+        (100.0 *. Executor.abort_ratio stats)
+        stats.Executor.rounds;
+      assert (flow = expected))
+    variants;
+
+  pf
+    "@.All three lock schemes were synthesized by the same construction@.\
+     (paper §3.2) from specifications at different lattice points; the@.\
+     partition spec was derived mechanically by the coarsening transform@.\
+     part(a) != part(b) => a != b (paper §4.2).@."

@@ -1,0 +1,1 @@
+lib/adts/accumulator.ml: Array Commlat_core Detector Formula History Invocation Spec Value

@@ -1,0 +1,1 @@
+lib/adts/flow_graph.ml: Array Commlat_core Detector Fmt Formula Fun Hashtbl Invocation List Mem_trace Option Spec Strengthen Value

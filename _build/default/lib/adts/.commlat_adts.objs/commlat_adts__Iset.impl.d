@@ -1,0 +1,1 @@
+lib/adts/iset.ml: Array Commlat_core Detector Fmt Formula Fun Gatekeeper History Invocation List Spec Strengthen Value

@@ -1,0 +1,1 @@
+lib/adts/kdtree.ml: Array Commlat_core Detector Float Formula Gatekeeper History Invocation List Mem_trace Point Spec Stdlib Value

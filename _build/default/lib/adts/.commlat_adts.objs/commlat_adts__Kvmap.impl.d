@@ -1,0 +1,1 @@
+lib/adts/kvmap.ml: Array Commlat_core Formula Gatekeeper History Invocation List Spec Strengthen Value

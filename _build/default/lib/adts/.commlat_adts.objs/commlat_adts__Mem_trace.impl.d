@@ -1,0 +1,1 @@
+lib/adts/mem_trace.ml: Hashtbl

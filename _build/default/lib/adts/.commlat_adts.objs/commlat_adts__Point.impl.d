@@ -1,0 +1,1 @@
+lib/adts/point.ml: Array Commlat_core Float Fmt Random Value

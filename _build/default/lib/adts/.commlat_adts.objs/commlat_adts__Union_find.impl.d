@@ -1,0 +1,1 @@
+lib/adts/union_find.ml: Array Commlat_core Detector Formula Gatekeeper Hashtbl History Invocation List Mem_trace Spec Value

@@ -1,0 +1,1 @@
+lib/adts/union_find_versioned.ml: Array Commlat_core Formula Gatekeeper Invocation List Union_find Value

@@ -1,0 +1,62 @@
+(** d-dimensional points and the Euclidean metric used by the kd-tree
+    (paper §2.5: "dist(a, b) is an algorithm-defined distance metric such
+    that nearest(a) returns the nearest point according to dist"). *)
+
+type t = float array
+
+let dim (p : t) = Array.length p
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (Float.equal x b.(i)) then ok := false) a;
+  !ok
+
+let dist2 (a : t) (b : t) =
+  let s = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. b.(i) in
+      s := !s +. (d *. d))
+    a;
+  !s
+
+let dist a b = sqrt (dist2 a b)
+
+(** The "point at infinity": the conventional nearest neighbour of a query
+    against an empty or singleton data set (paper §5, clustering). *)
+let at_infinity d : t = Array.make d infinity
+
+let is_at_infinity (p : t) = Array.exists (fun x -> x = infinity) p
+
+let pp ppf (p : t) = Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") float) p
+
+let to_string p = Fmt.str "%a" pp p
+
+(** Deterministic pseudo-random point cloud in the unit cube. *)
+let random_cloud ~seed ~dim:d n : t array =
+  let st = Random.State.make [| seed; d; n |] in
+  Array.init n (fun _ -> Array.init d (fun _ -> Random.State.float st 1.0))
+
+(* Value conversions *)
+
+let to_value (p : t) = Commlat_core.Value.Point p
+
+let of_value = Commlat_core.Value.to_point
+
+(** Distance between two point-like values; option-wrapped and
+    infinity-point values are treated as infinitely far, matching the
+    empty-tree convention. *)
+let dist_value (a : Commlat_core.Value.t) (b : Commlat_core.Value.t) =
+  let open Commlat_core in
+  let as_pt = function
+    | Value.Point p -> Some p
+    | Value.Opt (Some (Value.Point p)) -> Some p
+    | Value.Opt None -> None
+    | v -> Value.type_error "dist: not a point: %a" Value.pp v
+  in
+  match (as_pt a, as_pt b) with
+  | Some pa, Some pb ->
+      if is_at_infinity pa || is_at_infinity pb then infinity else dist pa pb
+  | _ -> infinity

@@ -1,0 +1,1 @@
+lib/apps/clustering.ml: Array Boost Commlat_adts Commlat_core Commlat_runtime Detector Executor Invocation Kdtree List Mutex Parameter Point Txn Value

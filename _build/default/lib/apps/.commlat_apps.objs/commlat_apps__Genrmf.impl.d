@@ -1,0 +1,1 @@
+lib/apps/genrmf.ml: Array Fun Random

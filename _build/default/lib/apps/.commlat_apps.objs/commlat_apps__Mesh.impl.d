@@ -1,0 +1,1 @@
+lib/apps/mesh.ml: Array Fun Random

@@ -1,0 +1,1 @@
+lib/apps/preflow_push.ml: Array Boost Commlat_adts Commlat_core Commlat_runtime Detector Executor Flow_graph Genrmf Invocation List Parameter Txn Value

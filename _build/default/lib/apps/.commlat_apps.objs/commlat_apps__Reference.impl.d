@@ -1,0 +1,1 @@
+lib/apps/reference.ml: Array Commlat_adts Fun Hashtbl Int List Point Queue

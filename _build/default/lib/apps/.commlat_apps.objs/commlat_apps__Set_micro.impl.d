@@ -1,0 +1,1 @@
+lib/apps/set_micro.ml: Abstract_lock Boost Commlat_adts Commlat_core Commlat_runtime Detector Executor Gatekeeper Gc Invocation Iset List Random Txn Value

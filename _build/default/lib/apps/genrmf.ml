@@ -1,0 +1,59 @@
+(** GENRMF-style synthetic maximum-flow inputs (Goldfarb & Grigoriadis's
+    RMF family — the paper evaluates preflow-push on a GENRMF instance from
+    the CATS maxflow challenge suite; we implement the generator itself,
+    see DESIGN.md §4.2).
+
+    The network is a stack of [b] frames, each an [a]×[a] grid:
+
+    - inside a frame, grid neighbours are connected in both directions with
+      large capacity [c2 * a * a];
+    - each vertex of frame [i] is connected to a distinct (randomly
+      permuted) vertex of frame [i+1] with capacity drawn uniformly from
+      [c1 .. c2];
+    - the source is the first vertex of the first frame, the sink the last
+      vertex of the last frame. *)
+
+type t = {
+  n : int;
+  source : int;
+  sink : int;
+  edges : (int * int * int) list;
+}
+
+let generate ?(c1 = 1) ?(c2 = 100) ?(seed = 42) ~a ~b () =
+  if a < 1 || b < 2 then invalid_arg "Genrmf.generate: need a >= 1, b >= 2";
+  let st = Random.State.make [| seed; a; b; c1; c2 |] in
+  let node frame x y = (frame * a * a) + (x * a) + y in
+  let n = a * a * b in
+  let in_frame_cap = c2 * a * a in
+  let edges = ref [] in
+  let add u v c = edges := (u, v, c) :: !edges in
+  for f = 0 to b - 1 do
+    (* in-frame grid edges, both directions *)
+    for x = 0 to a - 1 do
+      for y = 0 to a - 1 do
+        let u = node f x y in
+        if x + 1 < a then (
+          add u (node f (x + 1) y) in_frame_cap;
+          add (node f (x + 1) y) u in_frame_cap);
+        if y + 1 < a then (
+          add u (node f x (y + 1)) in_frame_cap;
+          add (node f x (y + 1)) u in_frame_cap)
+      done
+    done;
+    (* inter-frame edges along a random permutation *)
+    if f + 1 < b then (
+      let perm = Array.init (a * a) Fun.id in
+      for i = Array.length perm - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let tmp = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- tmp
+      done;
+      Array.iteri
+        (fun i p ->
+          let u = (f * a * a) + i and v = ((f + 1) * a * a) + p in
+          add u v (c1 + Random.State.int st (max 1 (c2 - c1 + 1))))
+        perm)
+  done;
+  { n; source = 0; sink = n - 1; edges = !edges }

@@ -1,0 +1,38 @@
+(** Random-weight mesh graphs: the Boruvka input (the paper uses a randomly
+    generated 1000×1000 mesh).
+
+    Nodes form an [r]×[c] grid; each node is connected to its right and
+    down neighbours.  Edge weights are a random permutation of
+    [0 .. m-1], so all weights are distinct and the minimum spanning tree
+    is unique — which lets tests compare the speculative MST edge-for-edge
+    against Kruskal. *)
+
+type t = {
+  nodes : int;
+  edges : (int * int * int) array;  (** (u, v, weight), undirected *)
+}
+
+let generate ?(seed = 7) ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Mesh.generate";
+  let node r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (node r c, node r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (node r c, node (r + 1) c) :: !edges
+    done
+  done;
+  let edges = Array.of_list !edges in
+  let m = Array.length edges in
+  let weights = Array.init m Fun.id in
+  let st = Random.State.make [| seed; rows; cols |] in
+  for i = m - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = weights.(i) in
+    weights.(i) <- weights.(j);
+    weights.(j) <- tmp
+  done;
+  {
+    nodes = rows * cols;
+    edges = Array.mapi (fun i (u, v) -> (u, v, weights.(i))) edges;
+  }

@@ -1,0 +1,137 @@
+(** Preflow-push maximum flow (Goldberg & Tarjan), the paper's first case
+    study (§5): an amorphous data-parallel worklist algorithm over the
+    {!Commlat_adts.Flow_graph} ADT.
+
+    A worklist holds nodes with excess flow.  The operator pops a node,
+    pushes excess along admissible residual edges ([height u = height v +
+    1]), relabels the node if excess remains, and requeues any node that
+    gained excess.  All graph accesses go through a conflict detector; the
+    three evaluated variants draw their specifications from the
+    commutativity lattice ({!Flow_graph.spec_rw} = [ml],
+    {!Flow_graph.spec_exclusive} = [ex], {!Flow_graph.spec_partitioned} =
+    [part]). *)
+
+open Commlat_core
+open Commlat_adts
+open Commlat_runtime
+
+type problem = { g : Flow_graph.t; n : int; source : int; sink : int }
+
+let of_genrmf (i : Genrmf.t) =
+  { g = Flow_graph.of_edges ~n:i.Genrmf.n i.Genrmf.edges; n = i.Genrmf.n;
+    source = i.Genrmf.source; sink = i.Genrmf.sink }
+
+(** Saturate the source's outgoing edges and return the initial worklist
+    (done outside the speculative phase, as the paper's algorithm
+    initializes the worklist with the source's neighbours). *)
+let initialize (p : problem) : int list =
+  let open Flow_graph in
+  p.g.height.(p.source) <- p.n;
+  let active = ref [] in
+  Array.iter
+    (fun e ->
+      if e.cap > 0 then (
+        let amt = e.cap in
+        e.cap <- 0;
+        p.g.adj.(e.dst).(e.rev).cap <- p.g.adj.(e.dst).(e.rev).cap + amt;
+        p.g.excess.(e.dst) <- p.g.excess.(e.dst) + amt;
+        p.g.excess.(p.source) <- p.g.excess.(p.source) - amt;
+        if e.dst <> p.sink then active := e.dst :: !active))
+    p.g.adj.(p.source);
+  List.rev !active
+
+(** The operator: one worklist item = one transaction discharging [u]'s
+    current excess (one pass over its neighbours + at most one relabel —
+    the classic "discharge step"). *)
+let operator (p : problem) (det : Detector.t) (txn : Txn.t) (u : int) : int list
+    =
+  if u = p.source || u = p.sink then []
+  else
+    let fg name (inv : Invocation.t) = Flow_graph.exec p.g name inv.Invocation.args in
+    let iargs l = Array.of_list (List.map (fun i -> Value.Int i) l) in
+    let decode_neighbors v =
+      match v with
+      | Value.List [ Value.Int excess; Value.Int height; Value.List ns ] ->
+          ( excess,
+            height,
+            List.map
+              (function
+                | Value.Pair (Value.Int v, Value.Int c) -> (v, c)
+                | _ -> assert false)
+              ns )
+      | _ -> assert false
+    in
+    let excess, height, ns =
+      decode_neighbors
+        (Boost.invoke_ro det txn Flow_graph.m_get_neighbors (iargs [ u ])
+           (fg "get_neighbors"))
+    in
+    if excess <= 0 then [] (* stale item *)
+    else begin
+      let new_work = ref [] in
+      let remaining = ref excess in
+      (* read neighbour heights (each read is a checked invocation) *)
+      let heights =
+        List.map
+          (fun (v, c) ->
+            ( v,
+              c,
+              Value.to_int
+                (Boost.invoke_ro det txn Flow_graph.m_height (iargs [ v ])
+                   (fg "height")) ))
+          ns
+      in
+      let residuals =
+        (* track residual capacity net of our own pushes, so the relabel
+           below sees up-to-date capacities (a stale saturated edge could
+           yield a non-increasing relabel and livelock) *)
+        List.map
+          (fun (v, c, hv) ->
+            if !remaining > 0 && c > 0 && height = hv + 1 then begin
+              let amt =
+                Value.to_int
+                  (Boost.invoke det txn ~undo:(Flow_graph.undo p.g)
+                     Flow_graph.m_push_flow (iargs [ u; v ]) (fg "push_flow"))
+              in
+              if amt > 0 then begin
+                remaining := !remaining - amt;
+                if v <> p.source && v <> p.sink && not (List.mem v !new_work)
+                then new_work := v :: !new_work
+              end;
+              (v, c - amt, hv)
+            end
+            else (v, c, hv))
+          heights
+      in
+      if !remaining > 0 then begin
+        (* relabel: one above the lowest residual neighbour *)
+        let min_h =
+          List.fold_left
+            (fun acc (_, c, hv) -> if c > 0 then min acc hv else acc)
+            max_int residuals
+        in
+        if min_h < max_int then begin
+          ignore
+            (Boost.invoke det txn ~undo:(Flow_graph.undo p.g)
+               Flow_graph.m_relabel_to
+               (iargs [ u; min_h + 1 ])
+               (fg "relabel_to"));
+          new_work := u :: !new_work
+        end
+      end;
+      List.rev !new_work
+    end
+
+(** Run to completion under [detector] with the bulk-synchronous executor;
+    returns the flow value that reached the sink and the executor stats. *)
+let run ?(processors = 4) ~detector (p : problem) : int * Executor.stats =
+  let init = initialize p in
+  let stats =
+    Executor.run_rounds ~processors ~detector ~operator:(operator p detector) init
+  in
+  (Flow_graph.excess_of p.g p.sink, stats)
+
+(** ParaMeter profile under [detector]. *)
+let profile ~detector (p : problem) : Parameter.profile =
+  let init = initialize p in
+  Parameter.profile ~detector ~operator:(operator p detector) init

@@ -1,0 +1,107 @@
+(** Sequential reference algorithms used to validate every speculative run
+    end-to-end: Edmonds–Karp maximum flow, Kruskal minimum spanning tree,
+    and brute-force nearest neighbour. *)
+
+(* ------------------------------------------------------------------ *)
+(* Edmonds–Karp max flow                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Maximum s-t flow of a directed capacity list (BFS augmenting paths). *)
+let max_flow ~n ~source ~sink (edges : (int * int * int) list) : int =
+  (* adjacency with residual capacities *)
+  let cap = Hashtbl.create (4 * List.length edges) in
+  let adj = Array.make n [] in
+  let add_arc u v c =
+    match Hashtbl.find_opt cap (u, v) with
+    | Some r -> r := !r + c
+    | None ->
+        Hashtbl.add cap (u, v) (ref c);
+        adj.(u) <- v :: adj.(u)
+  in
+  List.iter
+    (fun (u, v, c) ->
+      add_arc u v c;
+      add_arc v u 0)
+    edges;
+  let residual u v = match Hashtbl.find_opt cap (u, v) with Some r -> !r | None -> 0 in
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (* BFS for a shortest augmenting path *)
+    let parent = Array.make n (-1) in
+    parent.(source) <- source;
+    let q = Queue.create () in
+    Queue.add source q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if parent.(v) < 0 && residual u v > 0 then (
+            parent.(v) <- u;
+            if v = sink then found := true else Queue.add v q))
+        adj.(u)
+    done;
+    if not !found then continue := false
+    else (
+      (* bottleneck *)
+      let rec bottleneck v acc =
+        if v = source then acc
+        else bottleneck parent.(v) (min acc (residual parent.(v) v))
+      in
+      let amt = bottleneck sink max_int in
+      let rec apply v =
+        if v <> source then (
+          let u = parent.(v) in
+          (Hashtbl.find cap (u, v)) := residual u v - amt;
+          (Hashtbl.find cap (v, u)) := residual v u + amt;
+          apply u)
+      in
+      apply sink;
+      total := !total + amt)
+  done;
+  !total
+
+(* ------------------------------------------------------------------ *)
+(* Kruskal MST                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Minimum spanning forest: returns the chosen edges (weight-sorted). *)
+let kruskal ~n (edges : (int * int * int) array) : (int * int * int) list =
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else (
+    let r = find parent.(i) in
+    parent.(i) <- r;
+    r)
+  in
+  let sorted = Array.copy edges in
+  Array.sort (fun (_, _, w1) (_, _, w2) -> Int.compare w1 w2) sorted;
+  let mst = ref [] in
+  Array.iter
+    (fun (u, v, w) ->
+      let ru = find u and rv = find v in
+      if ru <> rv then (
+        parent.(ru) <- rv;
+        mst := (u, v, w) :: !mst))
+    sorted;
+  List.rev !mst
+
+let mst_weight ~n edges =
+  List.fold_left (fun acc (_, _, w) -> acc + w) 0 (kruskal ~n edges)
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force nearest neighbour                                       *)
+(* ------------------------------------------------------------------ *)
+
+open Commlat_adts
+
+(** Nearest point to [q] among [pts], excluding [q] itself (matching the
+    kd-tree's query convention); the point at infinity if none. *)
+let nearest_brute (pts : Point.t list) (q : Point.t) : Point.t =
+  List.fold_left
+    (fun best p ->
+      if Point.equal p q then best
+      else if Point.dist2 q p < Point.dist2 q best then p
+      else best)
+    (Point.at_infinity (Array.length q))
+    pts

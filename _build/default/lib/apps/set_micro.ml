@@ -1,0 +1,79 @@
+(** The set microbenchmark of paper §5 (Table 2).
+
+    Threads concurrently hit a shared set: each operation picks an object
+    from a pool and either [add]s it or asks [contains] (50/50).  Two
+    inputs: all objects distinct, or objects drawn from 10 equivalence
+    classes (so the same keys are hit constantly).  Four conflict-detection
+    schemes generated from the set's commutativity lattice:
+
+    - [`Global] — the ⊥ specification: one exclusive lock;
+    - [`Exclusive] — exclusive abstract locks on elements (§4.1);
+    - [`Rw] — read/write abstract locks from the Fig. 3 spec;
+    - [`Gatekeeper] — forward gatekeeper from the precise Fig. 2 spec. *)
+
+open Commlat_core
+open Commlat_adts
+open Commlat_runtime
+
+type scheme = [ `Global | `Exclusive | `Rw | `Gatekeeper ]
+
+let scheme_name = function
+  | `Global -> "global-lock"
+  | `Exclusive -> "abs-lock-excl"
+  | `Rw -> "abs-lock-rw"
+  | `Gatekeeper -> "gatekeeper"
+
+let detector_of (set : Iset.t) : scheme -> Detector.t = function
+  | `Global -> Detector.global_lock ()
+  | `Exclusive -> Abstract_lock.detector (Iset.exclusive_spec ())
+  | `Rw -> Abstract_lock.detector (Iset.simple_spec ())
+  | `Gatekeeper -> fst (Gatekeeper.forward ~hooks:(Iset.hooks set) (Iset.precise_spec ()))
+
+type op = { key : Value.t; is_add : bool }
+
+(** [ops n ~classes ~seed]: the workload.  [classes = 0] means all keys
+    distinct (the paper's first input); [classes = 10] gives the
+    10-equivalence-class input. *)
+let ops ?(seed = 17) ~classes n : op list =
+  let st = Random.State.make [| seed; classes; n |] in
+  List.init n (fun i ->
+      let key = if classes <= 0 then i else Random.State.int st classes in
+      { key = Value.Int key; is_add = Random.State.bool st })
+
+(** One transaction per operation, as in the paper's microbenchmark. *)
+let operator (set : Iset.t) (det : Detector.t) (txn : Txn.t) (o : op) : op list =
+  let exec name (inv : Invocation.t) = Iset.exec set name inv.Invocation.args in
+  (if o.is_add then
+     ignore
+       (Boost.invoke det txn ~undo:(Iset.undo set) Iset.m_add [| o.key |]
+          (exec "add"))
+   else ignore (Boost.invoke_ro det txn Iset.m_contains [| o.key |] (exec "contains")));
+  []
+
+type result = {
+  scheme : scheme;
+  abort_pct : float;
+  wall_s : float;
+  makespan : float;
+  stats : Executor.stats;
+}
+
+(** Run the microbenchmark for one scheme on [threads] simulated
+    processors. *)
+let run ?(threads = 4) ~classes ~n (s : scheme) : result =
+  Gc.full_major ();
+  let set = Iset.create () in
+  let det = detector_of set s in
+  let stats =
+    Executor.run_rounds ~processors:threads ~detector:det
+      ~operator:(operator set det) (ops ~classes n)
+  in
+  {
+    scheme = s;
+    abort_pct = 100.0 *. Executor.abort_ratio stats;
+    wall_s = stats.Executor.wall_s;
+    makespan = stats.Executor.makespan;
+    stats;
+  }
+
+let all_schemes : scheme list = [ `Global; `Exclusive; `Rw; `Gatekeeper ]

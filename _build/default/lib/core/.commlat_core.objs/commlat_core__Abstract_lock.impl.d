@@ -1,0 +1,1 @@
+lib/core/abstract_lock.ml: Array Detector Fmt Formula Fun Hashtbl Invocation List Mutex Option Spec String Value

@@ -1,0 +1,1 @@
+lib/core/abstract_lock.mli: Detector Fmt Formula Hashtbl Spec Value

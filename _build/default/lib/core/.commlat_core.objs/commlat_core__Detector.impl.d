@@ -1,0 +1,1 @@
+lib/core/detector.ml: Fmt Invocation List Mutex Value

@@ -1,0 +1,1 @@
+lib/core/formula.ml: Fmt List Option Stdlib Value

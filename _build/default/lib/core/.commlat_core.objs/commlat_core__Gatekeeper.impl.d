@@ -1,0 +1,1 @@
+lib/core/gatekeeper.ml: Array Detector Fmt Formula Fun Hashtbl Int Invocation List Mutex Option Spec Value

@@ -1,0 +1,1 @@
+lib/core/gatekeeper.mli: Detector Invocation Spec Value

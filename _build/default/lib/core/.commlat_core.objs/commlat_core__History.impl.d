@@ -1,0 +1,1 @@
+lib/core/history.ml: Array Int Invocation List Value

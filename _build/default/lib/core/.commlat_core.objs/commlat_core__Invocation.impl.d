@@ -1,0 +1,1 @@
+lib/core/invocation.ml: Array Atomic Fmt Formula Option Value

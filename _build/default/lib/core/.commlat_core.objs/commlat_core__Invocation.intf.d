@@ -1,0 +1,1 @@
+lib/core/invocation.mli: Fmt Formula Value

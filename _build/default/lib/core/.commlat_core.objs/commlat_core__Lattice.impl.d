@@ -1,0 +1,1 @@
+lib/core/lattice.ml: Formula Invocation List Spec Stdlib Value

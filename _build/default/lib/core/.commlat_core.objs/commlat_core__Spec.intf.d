@@ -1,0 +1,1 @@
+lib/core/spec.mli: Fmt Formula Hashtbl Invocation Value

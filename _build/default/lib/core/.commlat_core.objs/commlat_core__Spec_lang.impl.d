@@ -1,0 +1,1 @@
+lib/core/spec_lang.ml: Fmt Format Formula Hashtbl Invocation List Spec String Value

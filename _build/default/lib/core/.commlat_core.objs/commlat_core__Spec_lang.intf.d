@@ -1,0 +1,1 @@
+lib/core/spec_lang.mli: Fmt Formula Spec Value

@@ -1,0 +1,1 @@
+lib/core/strengthen.ml: Formula Fun Lattice List Option Spec Value

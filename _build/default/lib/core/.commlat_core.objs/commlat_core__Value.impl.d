@@ -1,0 +1,1 @@
+lib/core/value.ml: Array Bool Float Fmt Format Hashtbl Int List Option Stdlib String

@@ -1,0 +1,332 @@
+(** Abstract locking (paper §3.2).
+
+    This module implements the paper's systematic construction of abstract
+    locking schemes from SIMPLE commutativity specifications:
+
+    + one lock per data member (any value reachable as a method argument or
+      return value, possibly through a pure key-derivation function such as
+      [part]) plus one lock for the whole structure;
+    + one lock {e mode} per method/slot: [m:ds] for the method's access to
+      the structure, and one mode per clause position ([m:arg_i], [m:ret],
+      [m:part(arg_i)], …);
+    + a compatibility matrix derived from the specification:
+      {ul
+      {- [f_{m1,m2} = false] ⟹ [m1:ds] incompatible with [m2:ds];}
+      {- each SIMPLE clause [t1 != t2] ⟹ mode of [t1] incompatible with
+         mode of [t2];}
+      {- everything else compatible.}}
+
+    Modes compatible with every mode are superfluous; {!reduce} removes
+    them (the Fig. 8(a) → Fig. 8(b) optimization).
+
+    Theorem 1 of the paper: the scheme produced here is sound and complete
+    with respect to the input specification iff the specification is SIMPLE
+    — property-tested in [test/test_abstract_lock.ml]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Scheme construction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** What a method must lock: the structure lock, or the value of a pure
+    key term over the invocation's arguments/returns. *)
+type acquisition = {
+  mode : int;  (** mode index in the compatibility matrix *)
+  key : Formula.term option;
+      (** [None] = the data-structure lock; [Some t] = lock on the runtime
+          value of [t] (an M1-side pure term, e.g. [v1\[0\]] or
+          [part(v1\[0\])]) *)
+  after_exec : bool;  (** return-value locks are acquired after execution *)
+}
+
+type scheme = {
+  spec : Spec.t;
+  mode_names : string array;  (** mode index -> display name *)
+  compat : bool array array;  (** symmetric compatibility matrix *)
+  acquisitions : (string, acquisition list) Hashtbl.t;  (** per method *)
+  reduced : bool;
+}
+
+let mode_name scheme i = scheme.mode_names.(i)
+let n_modes scheme = Array.length scheme.mode_names
+
+(** Canonical display/identity for a mode: method name + slot term. *)
+let slot_id meth_name = function
+  | None -> meth_name ^ ":ds"
+  | Some t -> Fmt.str "%s:%a" meth_name Formula.pp_term t
+
+(* Normalize an M2-side term to the corresponding M1-side term, so the same
+   slot of a method gets the same mode whether the method appears first or
+   second in a condition. *)
+let rec to_m1_term = function
+  | Formula.Arg (_, i) -> Formula.Arg (Formula.M1, i)
+  | Formula.Ret _ -> Formula.Ret Formula.M1
+  | Formula.Const _ as t -> t
+  | Formula.Vfun (f, args) -> Formula.Vfun (f, List.map to_m1_term args)
+  | Formula.Arith (op, a, b) -> Formula.Arith (op, to_m1_term a, to_m1_term b)
+  | Formula.Sfun _ -> invalid_arg "abstract lock key mentions state"
+
+exception Not_simple of string * string * Formula.t
+
+(** Build the full (unreduced) abstract locking scheme for a SIMPLE spec.
+    Raises {!Not_simple} if some condition is not in L2. *)
+let construct (spec : Spec.t) : scheme =
+  let modes = Hashtbl.create 32 in
+  let names = ref [] in
+  let n = ref 0 in
+  let mode_of id =
+    match Hashtbl.find_opt modes id with
+    | Some i -> i
+    | None ->
+        let i = !n in
+        incr n;
+        Hashtbl.add modes id i;
+        names := id :: !names;
+        i
+  in
+  (* Step 1 of the construction: every method gets a ds mode plus one mode
+     per argument and return value (Fig. 8(a) shows all of them; the
+     reduction below drops the superfluous ones). *)
+  List.iter
+    (fun (m : Invocation.meth) ->
+      ignore (mode_of (slot_id m.name None));
+      for i = 0 to m.arity - 1 do
+        ignore (mode_of (slot_id m.name (Some (Formula.Arg (Formula.M1, i)))))
+      done;
+      ignore (mode_of (slot_id m.name (Some (Formula.Ret Formula.M1)))))
+    (Spec.methods spec);
+  let incompat = Hashtbl.create 32 in
+  let mark i j =
+    Hashtbl.replace incompat (i, j) ();
+    Hashtbl.replace incompat (j, i) ()
+  in
+  let acqs : (string, acquisition list) Hashtbl.t = Hashtbl.create 16 in
+  let add_acq meth_name a =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt acqs meth_name) in
+    if not (List.exists (fun a' -> a'.mode = a.mode) cur) then
+      Hashtbl.replace acqs meth_name (a :: cur)
+  in
+  (* Step 2: every method acquires the structure lock in its ds mode, each
+     argument's lock in its argument mode, and its return value's lock in
+     its ret mode (the last one necessarily after execution). *)
+  List.iter
+    (fun (m : Invocation.meth) ->
+      add_acq m.name
+        { mode = mode_of (slot_id m.name None); key = None; after_exec = false };
+      for i = 0 to m.arity - 1 do
+        let t = Formula.Arg (Formula.M1, i) in
+        add_acq m.name
+          { mode = mode_of (slot_id m.name (Some t)); key = Some t; after_exec = false }
+      done;
+      let r = Formula.Ret Formula.M1 in
+      add_acq m.name
+        { mode = mode_of (slot_id m.name (Some r)); key = Some r; after_exec = true })
+    (Spec.methods spec);
+  (* Walk the specification. *)
+  List.iter
+    (fun ((m1, m2), cond) ->
+      match cond with
+      | Formula.False -> mark (mode_of (slot_id m1 None)) (mode_of (slot_id m2 None))
+      | _ -> (
+          match Formula.as_simple cond with
+          | None -> raise (Not_simple (m1, m2, cond))
+          | Some clauses ->
+              List.iter
+                (fun (t1, t2) ->
+                  let t2m1 = to_m1_term t2 in
+                  let mode1 = mode_of (slot_id m1 (Some t1))
+                  and mode2 = mode_of (slot_id m2 (Some t2m1)) in
+                  mark mode1 mode2;
+                  add_acq m1
+                    {
+                      mode = mode1;
+                      key = Some t1;
+                      after_exec = Formula.term_mentions_ret Formula.M1 t1;
+                    };
+                  add_acq m2
+                    {
+                      mode = mode2;
+                      key = Some t2m1;
+                      after_exec = Formula.term_mentions_ret Formula.M1 t2m1;
+                    })
+                clauses))
+    (Spec.pairs spec);
+  let size = !n in
+  let compat = Array.init size (fun i -> Array.init size (fun j -> not (Hashtbl.mem incompat (i, j)))) in
+  let mode_names = Array.make size "" in
+  List.iteri (fun k id -> mode_names.(size - 1 - k) <- id) !names;
+  { spec; mode_names; compat; acquisitions = acqs; reduced = false }
+
+(** Drop superfluous modes: a mode compatible with all modes need never be
+    acquired (paper Fig. 8(b)). *)
+let reduce (s : scheme) : scheme =
+  let superfluous i = Array.for_all Fun.id s.compat.(i) in
+  let acquisitions = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun m acqs ->
+      Hashtbl.replace acquisitions m (List.filter (fun a -> not (superfluous a.mode)) acqs))
+    s.acquisitions;
+  { s with acquisitions; reduced = true }
+
+let pp_matrix ?(only_used = true) ppf (s : scheme) =
+  let used = Array.make (n_modes s) false in
+  Hashtbl.iter (fun _ acqs -> List.iter (fun a -> used.(a.mode) <- true) acqs) s.acquisitions;
+  let keep i = (not only_used) || used.(i) in
+  let idxs = List.filter keep (List.init (n_modes s) Fun.id) in
+  let width =
+    List.fold_left (fun w i -> max w (String.length s.mode_names.(i))) 0 idxs
+  in
+  Fmt.pf ppf "%*s" (width + 1) "";
+  List.iter (fun j -> Fmt.pf ppf " %*s" width s.mode_names.(j)) idxs;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun i ->
+      Fmt.pf ppf "%*s " (width + 1) s.mode_names.(i);
+      List.iter
+        (fun j -> Fmt.pf ppf " %*s" width (if s.compat.(i).(j) then "ok" else "X"))
+        idxs;
+      Fmt.pf ppf "@.")
+    idxs
+
+(* ------------------------------------------------------------------ *)
+(* Runtime lock table                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type lock_obj = Ds | Key of Value.t
+
+module Obj_key = struct
+  type t = lock_obj
+
+  let equal a b =
+    match (a, b) with
+    | Ds, Ds -> true
+    | Key x, Key y -> Value.equal x y
+    | _ -> false
+
+  let hash = function Ds -> 7 | Key v -> Value.hash v
+end
+
+module Obj_tbl = Hashtbl.Make (Obj_key)
+
+type holder = { txn : int; mode : int; mutable count : int }
+
+type table = {
+  scheme : scheme;
+  locks : holder list ref Obj_tbl.t;
+  held : (int, (lock_obj * holder) list) Hashtbl.t;  (** per txn *)
+  mu : Mutex.t;
+}
+
+let table scheme =
+  { scheme; locks = Obj_tbl.create 1024; held = Hashtbl.create 64; mu = Mutex.create () }
+
+(* Must be called with [t.mu] held. *)
+let acquire_locked t ~txn obj mode =
+  let cell =
+    match Obj_tbl.find_opt t.locks obj with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Obj_tbl.add t.locks obj c;
+        c
+  in
+  List.iter
+    (fun h ->
+      if h.txn <> txn && not t.scheme.compat.(h.mode).(mode) then
+        Detector.conflict ~txn ~with_:h.txn
+          (Fmt.str "lock %s held in mode %s, requested %s"
+             (match obj with Ds -> "<ds>" | Key v -> Value.to_string v)
+             t.scheme.mode_names.(h.mode) t.scheme.mode_names.(mode)))
+    !cell;
+  match List.find_opt (fun h -> h.txn = txn && h.mode = mode) !cell with
+  | Some h -> h.count <- h.count + 1
+  | None ->
+      let h = { txn; mode; count = 1 } in
+      cell := h :: !cell;
+      Hashtbl.replace t.held txn
+        ((obj, h) :: Option.value ~default:[] (Hashtbl.find_opt t.held txn))
+
+let release_all t txn =
+  Mutex.protect t.mu (fun () ->
+      (match Hashtbl.find_opt t.held txn with
+      | None -> ()
+      | Some held ->
+          List.iter
+            (fun (obj, h) ->
+              match Obj_tbl.find_opt t.locks obj with
+              | None -> ()
+              | Some cell ->
+                  cell := List.filter (fun h' -> h' != h) !cell;
+                  if !cell = [] then Obj_tbl.remove t.locks obj)
+            held);
+      Hashtbl.remove t.held txn)
+
+(* ------------------------------------------------------------------ *)
+(* Detector                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile a pure M1-side key term to a function of the invocation. *)
+let compile_key (spec : Spec.t) (t : Formula.term) : Invocation.t -> Value.t =
+  let c = Formula.compile_term t in
+  fun inv ->
+    c
+      (Formula.env
+         ~vfun:(fun name args -> Spec.vfun spec name args)
+         ~arg:(fun _ i -> inv.Invocation.args.(i))
+         ~ret:(fun _ -> inv.Invocation.ret)
+         ())
+
+(** Build a conflict detector from a SIMPLE specification.  [reduce]
+    (default [true]) applies the superfluous-mode optimization first. *)
+let detector ?(reduce_scheme = true) (spec : Spec.t) : Detector.t =
+  let scheme = construct spec in
+  let scheme = if reduce_scheme then reduce scheme else scheme in
+  let t = table scheme in
+  (* stage the key computations once per method *)
+  let compiled :
+      (string, (int * bool * (Invocation.t -> Value.t) option) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Hashtbl.iter
+    (fun m acqs ->
+      Hashtbl.replace compiled m
+        (List.map
+           (fun (a : acquisition) ->
+             (a.mode, a.after_exec, Option.map (compile_key spec) a.key))
+           acqs))
+    scheme.acquisitions;
+  let on_invoke (inv : Invocation.t) exec =
+    let txn = inv.Invocation.txn in
+    let acqs =
+      Option.value ~default:[]
+        (Hashtbl.find_opt compiled inv.Invocation.meth.name)
+    in
+    Mutex.protect t.mu (fun () ->
+        (* before-execution acquisitions: ds lock and argument locks *)
+        List.iter
+          (fun (mode, after_exec, key) ->
+            if not after_exec then
+              let obj = match key with None -> Ds | Some k -> Key (k inv) in
+              acquire_locked t ~txn obj mode)
+          acqs;
+        let r = exec () in
+        inv.Invocation.ret <- r;
+        (* after-execution acquisitions: return-value locks *)
+        List.iter
+          (fun (mode, after_exec, key) ->
+            if after_exec then
+              let obj = match key with None -> Ds | Some k -> Key (k inv) in
+              acquire_locked t ~txn obj mode)
+          acqs;
+        r)
+  in
+  {
+    Detector.name = Fmt.str "abslock(%s)" (Spec.adt spec);
+    on_invoke;
+    on_commit = (fun txn -> release_all t txn);
+    on_abort = (fun txn -> release_all t txn);
+    reset =
+      (fun () ->
+        Mutex.protect t.mu (fun () ->
+            Obj_tbl.reset t.locks;
+            Hashtbl.reset t.held));
+  }

@@ -1,0 +1,412 @@
+(** Gatekeeping (paper §3.3): conflict detection by logging method
+    invocations and evaluating commutativity conditions directly.
+
+    A gatekeeper intercepts every method invocation [m(v)]:
+
+    + it evaluates the primitive-function set [C_m] — every function of the
+      {e current} abstract state appearing (as an [s1]-function of m1-only
+      values) in any condition in which [m] is the earlier method — and
+      stores the results in a {e result log} [L_{m(v)}] together with [v]
+      and the return value;
+    + it checks, for every {e active} invocation [ma(va)] of another
+      transaction, the condition [f_{ma,m}], reading [ma]'s side from
+      [L_{ma(va)}]; if any condition evaluates to [false] a conflict is
+      raised;
+    + when a transaction ends, its logs and active invocations are removed.
+
+    {b Forward} gatekeepers ({!forward}) require every condition to be
+    ONLINE-CHECKABLE (logic L3): all the information needed later is in the
+    logs.  {b General} gatekeepers ({!general}) accept any L1 condition: a
+    function of [s1] that needs m2-information (union-find's [rep (s1, c)])
+    is evaluated by {e rolling the data structure back} to [s1] — undoing,
+    in reverse order, every mutating invocation that executed after the
+    active one — evaluating, and rolling forward again.  The whole
+    intercept/check/execute/log sequence is atomic (one mutex per
+    gatekeeper). *)
+
+(** How a gatekeeper talks to the data structure it protects. *)
+type hooks = {
+  sfun : string -> Value.t list -> Value.t;
+      (** evaluate an abstract-state function ([rep], [rank], [loser], …)
+          on the {e current} state *)
+  sfun_at : (int -> string -> Value.t list -> Value.t) option;
+      (** [sfun_at seq name args]: evaluate a state function in the state
+          just {e before} the invocation stamped [seq] executed, {b without
+          rolling back} — for partially-persistent ADTs such as
+          {!Commlat_adts.Union_find_versioned}.  When provided, the general
+          gatekeeper uses it instead of the undo/redo sweep, answering the
+          paper's future-work question about cheaper general conflict
+          detection. *)
+  undo : Invocation.t -> unit;
+      (** restore the abstract state to just before this invocation ran
+          (general gatekeeping only; [forward] never calls it) *)
+  redo : Invocation.t -> unit;  (** re-apply an undone invocation *)
+  forget : Invocation.t -> unit;
+      (** the gatekeeper will never undo this invocation again: drop any
+          bookkeeping (e.g. concrete write logs) *)
+}
+
+let hooks ?(undo = fun _ -> invalid_arg "gatekeeper: undo unsupported")
+    ?(redo = fun _ -> invalid_arg "gatekeeper: redo unsupported")
+    ?(forget = fun _ -> ()) ?sfun_at sfun =
+  { sfun; sfun_at; undo; redo; forget }
+
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  inv : Invocation.t;
+  log : (string * Value.t list, Value.t) Hashtbl.t;
+      (** results of [C_m] functions, keyed by (name, evaluated args) *)
+}
+
+type t = {
+  spec : Spec.t;
+  hooks : hooks;
+  allow_rollback : bool;
+  (* C_m: per method, the s1-functions to log, as (name, arg terms). *)
+  cm : (string, (string * Formula.term list) list) Hashtbl.t;
+  (* active invocations, bucketed by method name so that method pairs whose
+     condition is [true] (e.g. find/find, nearest/nearest) are skipped
+     without touching individual entries *)
+  active : (string, entry list ref) Hashtbl.t;
+  mutable n_active : int;
+  (* per ordered method pair: the condition and its rollback-function set,
+     precomputed *)
+  cond_info : (string * string, cond_info) Hashtbl.t;
+  mutable mutation_log : Invocation.t list; (* mutating invocations, newest first *)
+  mutable seq : int;
+  mu : Mutex.t;
+  stats_rollbacks : int ref;
+}
+
+and cond_info = {
+  formula : Formula.t;
+  compiled : Formula.env -> bool;  (** staged compilation of [formula] *)
+  rollback_fns : (string * Formula.term list) list;
+      (** s1-functions needing state reconstruction, from
+          {!Formula.rollback_functions} *)
+}
+
+let build_cm (spec : Spec.t) =
+  let cm = Hashtbl.create 16 in
+  List.iter
+    (fun ((m1, _), cond) ->
+      let fns =
+        Formula.f1_functions cond |> List.map (fun (name, args, _) -> (name, args))
+      in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt cm m1) in
+      let fresh = List.filter (fun f -> not (List.mem f cur)) fns in
+      Hashtbl.replace cm m1 (fresh @ cur))
+    (Spec.pairs spec);
+  cm
+
+let cond_info_of (t : t) ~first ~second =
+  match Hashtbl.find_opt t.cond_info (first, second) with
+  | Some i -> i
+  | None ->
+      let formula = Spec.cond t.spec ~first ~second in
+      let rollback_fns =
+        Formula.rollback_functions formula
+        |> List.map (fun (name, args, _) -> (name, args))
+      in
+      let i = { formula; compiled = Formula.compile formula; rollback_fns } in
+      Hashtbl.add t.cond_info (first, second) i;
+      i
+
+(* Evaluate a pure (state-free) term against one invocation's args/ret. *)
+let eval_m1_term (t : t) (inv : Invocation.t) term =
+  let env =
+    Formula.env
+      ~vfun:(Spec.vfun t.spec)
+      ~arg:(fun _ i -> inv.Invocation.args.(i))
+      ~ret:(fun _ -> inv.Invocation.ret)
+      ()
+  in
+  Formula.eval_term env term
+
+(* The formula-evaluation environment for checking [f_{e.inv, inv2}].
+   [rb_cache] holds the pre-evaluated rollback functions (general
+   gatekeeping): all of them were computed under a single undo/redo cycle
+   by {!eval_rollback_fns}, not one cycle per occurrence. *)
+let check_env (t : t) (e : entry) (inv2 : Invocation.t)
+    ~(rb_cache : (string * Value.t list, Value.t) Hashtbl.t option) :
+    Formula.env =
+  let sfun name state (args : Value.t list) (_term : Formula.term) =
+    match state with
+    | Formula.S2 ->
+        (* s2 = the state inv2 runs in; evaluated live.  All example specs
+           are s2-free; see DESIGN.md §5 for the mutating-method caveat. *)
+        t.hooks.sfun name args
+    | Formula.S1 -> (
+        match Hashtbl.find_opt e.log (name, args) with
+        | Some v -> v
+        | None -> (
+            match
+              Option.bind rb_cache (fun c -> Hashtbl.find_opt c (name, args))
+            with
+            | Some v -> v
+            | None ->
+                invalid_arg
+                  (Fmt.str
+                     "forward gatekeeper: %s not in log of %a (condition not \
+                      ONLINE-CHECKABLE?)"
+                     name Invocation.pp e.inv)))
+  in
+  Invocation.env ~sfun ~vfun:(Spec.vfun t.spec) e.inv inv2
+
+(* Pure two-invocation environment for evaluating the (state-free) argument
+   terms of rollback functions. *)
+let pure_env (t : t) (e : entry) (inv2 : Invocation.t) : Formula.env =
+  Invocation.env
+    ~sfun:(fun name _ _ _ -> raise (Formula.Unsupported name))
+    ~vfun:(Spec.vfun t.spec) e.inv inv2
+
+(* For every (entry, cond_info) pair whose condition contains rollback
+   functions, evaluate those functions at the entry's pre-state [s1] in ONE
+   reverse-chronological sweep over the mutation log: walk backwards in
+   time undoing mutations, pausing at each entry's sequence point to
+   evaluate its functions, then redo everything forwards.  This batching —
+   one undo/redo cycle per incoming invocation instead of one per (entry,
+   function) pair — is the same trick the paper's union-find gatekeeper
+   uses ("undoes the effects of all potentially interfering calls to
+   union, and re-executes find"). *)
+let rollback_sweep (t : t) (inv2 : Invocation.t)
+    (needs_check : (entry * cond_info) list) :
+    (int, (string * Value.t list, Value.t) Hashtbl.t) Hashtbl.t =
+  let caches = Hashtbl.create 8 in
+  (match t.hooks.sfun_at with
+  | Some sfun_at when t.allow_rollback ->
+      (* partially-persistent ADT: past states are queried directly *)
+      List.iter
+        (fun ((e : entry), (info : cond_info)) ->
+          match info.rollback_fns with
+          | [] -> ()
+          | fns ->
+              let env = pure_env t e inv2 in
+              let cache = Hashtbl.create 4 in
+              List.iter
+                (fun (name, arg_terms) ->
+                  let args = List.map (Formula.eval_term env) arg_terms in
+                  if
+                    (not (Hashtbl.mem e.log (name, args)))
+                    && not (Hashtbl.mem cache (name, args))
+                  then
+                    Hashtbl.replace cache (name, args)
+                      (sfun_at e.inv.Invocation.seq name args))
+                fns;
+              if Hashtbl.length cache > 0 then
+                Hashtbl.replace caches e.inv.Invocation.uid cache)
+        needs_check
+  | _ ->
+  if t.allow_rollback then
+     let items =
+       List.filter_map
+         (fun ((e : entry), (info : cond_info)) ->
+           match info.rollback_fns with
+           | [] -> None
+           | fns ->
+               let env = pure_env t e inv2 in
+               let wanted =
+                 List.map
+                   (fun (name, arg_terms) ->
+                     (name, List.map (Formula.eval_term env) arg_terms))
+                   fns
+                 |> List.sort_uniq compare
+                 |> List.filter (fun (name, args) ->
+                        not (Hashtbl.mem e.log (name, args)))
+               in
+               if wanted = [] then None else Some (e, wanted))
+         needs_check
+       |> List.sort (fun ((e1 : entry), _) ((e2 : entry), _) ->
+              Int.compare e2.inv.Invocation.seq e1.inv.Invocation.seq)
+       (* newest first: we undo progressively further into the past *)
+     in
+     if items <> [] then begin
+       incr t.stats_rollbacks;
+       let undone = ref [] (* oldest-undone first, i.e. redo order *) in
+       let log = ref t.mutation_log (* newest first *) in
+       Fun.protect
+         ~finally:(fun () -> List.iter t.hooks.redo !undone)
+         (fun () ->
+           List.iter
+             (fun ((e : entry), wanted) ->
+               let rec undo_to () =
+                 match !log with
+                 | m :: rest when m.Invocation.seq >= e.inv.Invocation.seq ->
+                     t.hooks.undo m;
+                     undone := m :: !undone;
+                     log := rest;
+                     undo_to ()
+                 | _ -> ()
+               in
+               undo_to ();
+               let cache = Hashtbl.create 4 in
+               List.iter
+                 (fun (name, args) ->
+                   Hashtbl.replace cache (name, args) (t.hooks.sfun name args))
+                 wanted;
+               Hashtbl.replace caches e.inv.Invocation.uid cache)
+             items)
+     end);
+  caches
+
+let populate_log (t : t) (entry : entry) ~post_exec =
+  let fns = Option.value ~default:[] (Hashtbl.find_opt t.cm entry.inv.Invocation.meth.name) in
+  List.iter
+    (fun (name, arg_terms) ->
+      let needs_ret =
+        List.exists (Formula.term_mentions_ret Formula.M1) arg_terms
+      in
+      if needs_ret = post_exec then
+        let args = List.map (eval_m1_term t entry.inv) arg_terms in
+        if not (Hashtbl.mem entry.log (name, args)) then
+          Hashtbl.replace entry.log (name, args) (t.hooks.sfun name args))
+    fns
+
+let prune (t : t) =
+  if t.n_active = 0 then (
+    List.iter t.hooks.forget t.mutation_log;
+    t.mutation_log <- [])
+  else begin
+    let min_seq = ref max_int in
+    Hashtbl.iter
+      (fun _ bucket ->
+        List.iter
+          (fun e -> if e.inv.Invocation.seq < !min_seq then min_seq := e.inv.Invocation.seq)
+          !bucket)
+      t.active;
+    let keep, drop =
+      List.partition (fun (i : Invocation.t) -> i.seq >= !min_seq) t.mutation_log
+    in
+    List.iter t.hooks.forget drop;
+    t.mutation_log <- keep
+  end
+
+let make ~allow_rollback hooks spec =
+  (match Spec.classify spec with
+  | Formula.General when not allow_rollback ->
+      invalid_arg
+        (Fmt.str
+           "Gatekeeper.forward: spec %s has non-ONLINE-CHECKABLE conditions; \
+            use Gatekeeper.general"
+           (Spec.adt spec))
+  | _ -> ());
+  {
+    spec;
+    hooks;
+    allow_rollback;
+    cm = build_cm spec;
+    active = Hashtbl.create 8;
+    n_active = 0;
+    cond_info = Hashtbl.create 32;
+    mutation_log = [];
+    seq = 0;
+    mu = Mutex.create ();
+    stats_rollbacks = ref 0;
+  }
+
+let on_invoke (t : t) (inv : Invocation.t) exec =
+  Mutex.protect t.mu (fun () ->
+      t.seq <- t.seq + 1;
+      inv.Invocation.seq <- t.seq;
+      let entry = { inv; log = Hashtbl.create 4 } in
+      (* Functions of s1 that need only the arguments are evaluated in the
+         pre-state (s1 is the state the method is invoked in)... *)
+      populate_log t entry ~post_exec:false;
+      let r = exec () in
+      inv.Invocation.ret <- r;
+      if inv.Invocation.meth.rollback_log then t.mutation_log <- inv :: t.mutation_log;
+      (* ... and ret-dependent ones after it returns (valid for read-only
+         methods such as [nearest]; see Spec docs). *)
+      populate_log t entry ~post_exec:true;
+      (* Check against every active invocation of other transactions,
+         bucketed by method so trivially-true conditions skip whole
+         buckets.  First collect the entries whose condition needs state
+         reconstruction, so all their rollback functions are evaluated in a
+         single reverse-chronological sweep (the paper's union-find
+         gatekeeper batches its rollback the same way). *)
+      let needs_check = ref [] in
+      Hashtbl.iter
+        (fun first bucket ->
+          let info = cond_info_of t ~first ~second:inv.Invocation.meth.name in
+          match info.formula with
+          | Formula.True -> ()
+          | _ ->
+              List.iter
+                (fun (e : entry) ->
+                  if e.inv.Invocation.txn <> inv.Invocation.txn then
+                    needs_check := (e, info) :: !needs_check)
+                !bucket)
+        t.active;
+      let rb_caches = rollback_sweep t inv !needs_check in
+      List.iter
+        (fun ((e : entry), info) ->
+          let ok =
+            match info.formula with
+            | Formula.False -> false
+            | _ ->
+                let rb_cache = Hashtbl.find_opt rb_caches e.inv.Invocation.uid in
+                info.compiled (check_env t e inv ~rb_cache)
+          in
+          if not ok then
+            Detector.conflict ~txn:inv.Invocation.txn ~with_:e.inv.Invocation.txn
+              (Fmt.str "%a does not commute with %a" Invocation.pp e.inv
+                 Invocation.pp inv))
+        !needs_check;
+      (let bucket =
+         match Hashtbl.find_opt t.active inv.Invocation.meth.name with
+         | Some b -> b
+         | None ->
+             let b = ref [] in
+             Hashtbl.add t.active inv.Invocation.meth.name b;
+             b
+       in
+       bucket := entry :: !bucket;
+       t.n_active <- t.n_active + 1);
+      r)
+
+let on_end (t : t) txn =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.iter
+        (fun _ bucket ->
+          let keep = List.filter (fun e -> e.inv.Invocation.txn <> txn) !bucket in
+          t.n_active <- t.n_active - (List.length !bucket - List.length keep);
+          bucket := keep)
+        t.active;
+      t.mutation_log <-
+        (let keep, drop =
+           List.partition (fun (i : Invocation.t) -> i.txn <> txn) t.mutation_log
+         in
+         List.iter t.hooks.forget drop;
+         keep);
+      prune t)
+
+let rollback_count (t : t) = !(t.stats_rollbacks)
+
+let detector ~name (t : t) : Detector.t =
+  {
+    Detector.name;
+    on_invoke = (fun inv exec -> on_invoke t inv exec);
+    on_commit = (fun txn -> on_end t txn);
+    on_abort = (fun txn -> on_end t txn);
+    reset =
+      (fun () ->
+        Mutex.protect t.mu (fun () ->
+            Hashtbl.reset t.active;
+            t.n_active <- 0;
+            List.iter t.hooks.forget t.mutation_log;
+            t.mutation_log <- []));
+  }
+
+(** Forward gatekeeper (paper §3.3.1).  Requires an ONLINE-CHECKABLE spec;
+    never rolls the data structure back, so [hooks.undo]/[redo] are unused
+    and a bare [hooks sfun] suffices. *)
+let forward ~hooks:h (spec : Spec.t) : Detector.t * t =
+  let t = make ~allow_rollback:false h spec in
+  (detector ~name:(Fmt.str "fwd-gk(%s)" (Spec.adt spec)) t, t)
+
+(** General gatekeeper (paper §3.3.2).  Accepts any L1 spec; needs working
+    [undo]/[redo] hooks. *)
+let general ~hooks:h (spec : Spec.t) : Detector.t * t =
+  let t = make ~allow_rollback:true h spec in
+  (detector ~name:(Fmt.str "gen-gk(%s)" (Spec.adt spec)) t, t)

@@ -1,0 +1,62 @@
+(** Gatekeeping (paper §3.3): conflict detection by logging method
+    invocations and evaluating commutativity conditions directly.
+
+    A gatekeeper intercepts every method invocation [m(v)]: it evaluates
+    the primitive-function set [C_m] into a result log, executes the
+    method, checks the condition [f_{ma,m}] against every active invocation
+    [ma] of other transactions (reading [ma]'s side from its log), and
+    raises {!Detector.Conflict} if any condition is false.  The whole
+    sequence is atomic (one mutex per gatekeeper).
+
+    {b Forward} gatekeepers ({!forward}) require every condition to be
+    ONLINE-CHECKABLE (logic L3).  {b General} gatekeepers ({!general})
+    accept any L1 condition: functions of [s1] that need m2-information
+    (union-find's [rep(s1, c)]) are evaluated either by rolling the data
+    structure back — one batched reverse-chronological undo/redo sweep per
+    incoming invocation — or, when the ADT provides [sfun_at], by querying
+    a partially persistent representation directly. *)
+
+(** How a gatekeeper talks to the data structure it protects. *)
+type hooks = {
+  sfun : string -> Value.t list -> Value.t;
+      (** evaluate an abstract-state function ([rep], [rank], [loser], …)
+          on the {e current} state *)
+  sfun_at : (int -> string -> Value.t list -> Value.t) option;
+      (** [sfun_at seq name args]: evaluate a state function in the state
+          just {e before} the invocation stamped [seq] executed, {b without
+          rolling back} — for partially-persistent ADTs such as
+          {!Commlat_adts.Union_find_versioned}.  When provided, the general
+          gatekeeper uses it instead of the undo/redo sweep. *)
+  undo : Invocation.t -> unit;
+      (** restore the state to just before this invocation ran (general
+          gatekeeping only; [forward] never calls it) *)
+  redo : Invocation.t -> unit;  (** re-apply an undone invocation *)
+  forget : Invocation.t -> unit;
+      (** the gatekeeper will never undo this invocation again: drop any
+          bookkeeping (e.g. concrete write logs) *)
+}
+
+(** Build hooks; omitted [undo]/[redo] raise if invoked, [forget] defaults
+    to a no-op. *)
+val hooks :
+  ?undo:(Invocation.t -> unit) ->
+  ?redo:(Invocation.t -> unit) ->
+  ?forget:(Invocation.t -> unit) ->
+  ?sfun_at:(int -> string -> Value.t list -> Value.t) ->
+  (string -> Value.t list -> Value.t) ->
+  hooks
+
+(** Gatekeeper state (exposed for instrumentation). *)
+type t
+
+(** Number of state-reconstruction sweeps performed so far. *)
+val rollback_count : t -> int
+
+(** Forward gatekeeper (paper §3.3.1).  Raises [Invalid_argument] if the
+    spec has non-ONLINE-CHECKABLE conditions; [hooks.undo]/[redo] are never
+    used, so bare [hooks sfun] suffices. *)
+val forward : hooks:hooks -> Spec.t -> Detector.t * t
+
+(** General gatekeeper (paper §3.3.2).  Accepts any L1 spec; needs working
+    [undo]/[redo] hooks (or [sfun_at]). *)
+val general : hooks:hooks -> Spec.t -> Detector.t * t

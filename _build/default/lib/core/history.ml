@@ -1,0 +1,93 @@
+(** Histories and the serializability oracle (paper §2.1, Defs. 1–3,
+    Appendix A).
+
+    A history is the sequence of method invocations (with recorded return
+    values) that actually executed.  The oracle used by the test suite
+    checks the guarantee that commutativity-based conflict detection is
+    supposed to provide: the concurrent execution is {e serializable} —
+    there is some serial order of the committed transactions in which every
+    invocation returns exactly what it returned in the concurrent run and
+    which ends in the same abstract state.
+
+    The oracle needs a replayable {!model} of the ADT; it enumerates all
+    permutations of the transactions (test histories involve a handful),
+    replaying each. *)
+
+type model = {
+  reset : unit -> unit;  (** restore the initial abstract state *)
+  apply : string -> Value.t list -> Value.t;  (** invoke a method *)
+  snapshot : unit -> Value.t;  (** current abstract state, comparable *)
+}
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let txns_of (history : Invocation.t list) =
+  List.sort_uniq Int.compare (List.map (fun (i : Invocation.t) -> i.txn) history)
+
+(** Replay [history]'s invocations with transactions serialized in [order]
+    (each transaction's invocations keep their program order).  Returns
+    [Some final_state] if every replayed invocation returns its recorded
+    value, [None] at the first mismatch. *)
+let replay (model : model) (history : Invocation.t list) (order : int list) =
+  model.reset ();
+  let serial =
+    List.concat_map
+      (fun txn -> List.filter (fun (i : Invocation.t) -> i.txn = txn) history)
+      order
+  in
+  let ok =
+    List.for_all
+      (fun (i : Invocation.t) ->
+        let r = model.apply i.meth.name (Array.to_list i.args) in
+        Value.equal r i.ret)
+      serial
+  in
+  if ok then Some (model.snapshot ()) else None
+
+(** Is the recorded concurrent history serializable?  [final] is the
+    abstract state the concurrent execution actually ended in. *)
+let serializable (model : model) ~(final : Value.t) (history : Invocation.t list) =
+  let orders = permutations (txns_of history) in
+  List.exists
+    (fun order ->
+      match replay model history order with
+      | Some s -> Value.equal s final
+      | None -> false)
+    orders
+
+(** The witness order, for diagnostics. *)
+let serialization_witness (model : model) ~(final : Value.t)
+    (history : Invocation.t list) =
+  List.find_opt
+    (fun order ->
+      match replay model history order with
+      | Some s -> Value.equal s final
+      | None -> false)
+    (permutations (txns_of history))
+
+(** Check Definition 1 directly: do two invocations commute in the given
+    state?  [prefix] brings the model from its initial state to the state
+    of interest; returns [true] iff running [i1;i2] and [i2;i1] from there
+    yields the same return values and the same final abstract state.  Used
+    to validate the example specifications against ground truth. *)
+let commute_in_state (model : model) ~(prefix : (string * Value.t list) list)
+    (m1, args1) (m2, args2) =
+  let run order =
+    model.reset ();
+    List.iter (fun (m, args) -> ignore (model.apply m args)) prefix;
+    let rets = List.map (fun (m, args) -> model.apply m args) order in
+    (rets, model.snapshot ())
+  in
+  let r12, s12 = run [ (m1, args1); (m2, args2) ] in
+  let r21, s21 = run [ (m2, args2); (m1, args1) ] in
+  match (r12, r21) with
+  | [ ra; rb ], [ rb'; ra' ] ->
+      Value.equal ra ra' && Value.equal rb rb' && Value.equal s12 s21
+  | _ -> assert false

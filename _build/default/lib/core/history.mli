@@ -1,0 +1,47 @@
+(** Histories and the serializability oracle (paper §2.1, Defs. 1–3,
+    Appendix A).
+
+    A history is the sequence of method invocations (with recorded return
+    values) that actually executed.  The oracle used by the test suite
+    checks the guarantee commutativity-based conflict detection must
+    provide: the concurrent execution is {e serializable} — some serial
+    order of the committed transactions reproduces every recorded return
+    value and ends in the same abstract state.  It enumerates all
+    permutations of the transactions (test histories involve a handful),
+    replaying each against a {!model}. *)
+
+(** A replayable model of an ADT. *)
+type model = {
+  reset : unit -> unit;  (** restore the initial abstract state *)
+  apply : string -> Value.t list -> Value.t;  (** invoke a method *)
+  snapshot : unit -> Value.t;  (** current abstract state, comparable *)
+}
+
+val permutations : 'a list -> 'a list list
+
+(** Distinct transaction ids appearing in a history. *)
+val txns_of : Invocation.t list -> int list
+
+(** Replay the history with transactions serialized in [order] (each
+    transaction's invocations keep their program order).  [Some final]
+    if every replayed invocation returns its recorded value. *)
+val replay : model -> Invocation.t list -> int list -> Value.t option
+
+(** Is the recorded concurrent history serializable?  [final] is the
+    abstract state the concurrent execution actually ended in. *)
+val serializable : model -> final:Value.t -> Invocation.t list -> bool
+
+(** The witness serialization order, for diagnostics. *)
+val serialization_witness :
+  model -> final:Value.t -> Invocation.t list -> int list option
+
+(** Check Definition 1 directly: do two invocations commute in the state
+    reached by applying [prefix] from the initial state?  True iff running
+    them in both orders yields the same return values and the same final
+    abstract state. *)
+val commute_in_state :
+  model ->
+  prefix:(string * Value.t list) list ->
+  string * Value.t list ->
+  string * Value.t list ->
+  bool

@@ -1,0 +1,114 @@
+(** Commutativity specifications (paper §2.3).
+
+    A specification maps each {e ordered} pair of methods [(m1, m2)] — read
+    "[m1] was invoked first" — to a commutativity condition.  The paper
+    writes specifications symmetrically and omits the mirrored halves "for
+    brevity" (Fig. 2 footnote); here both orientations are stored
+    explicitly, because for state-dependent conditions (union-find, Fig. 5)
+    the two orientations are genuinely different formulas.
+
+    Missing entries default to [false] — the sound choice: methods that the
+    author said nothing about are assumed to conflict. *)
+
+type t = {
+  adt : string;
+  methods : Invocation.meth list;
+  conditions : (string * string, Formula.t) Hashtbl.t;
+  vfuns : (string * (Value.t list -> Value.t)) list;
+      (** interpretations of the pure value functions ([dist], [part], …)
+          used by this spec's formulas *)
+}
+
+let create ?(vfuns = []) ~adt methods =
+  { adt; methods; conditions = Hashtbl.create 16; vfuns }
+
+let adt t = t.adt
+let methods t = t.methods
+
+let find_meth t name =
+  match List.find_opt (fun (m : Invocation.meth) -> m.name = name) t.methods with
+  | Some m -> m
+  | None -> invalid_arg (Fmt.str "Spec: unknown method %s on %s" name t.adt)
+
+let vfun t name =
+  match List.assoc_opt name t.vfuns with
+  | Some f -> f
+  | None -> raise (Formula.Unsupported ("vfun " ^ name))
+
+(** Register the condition for the ordered pair ([first], [second]). *)
+let add_directed t ~first ~second f =
+  if not (Formula.well_formed f) then
+    invalid_arg
+      (Fmt.str "Spec.add_directed: ill-formed condition for (%s,%s): %a" first
+         second Formula.pp f);
+  ignore (find_meth t first);
+  ignore (find_meth t second);
+  Hashtbl.replace t.conditions (first, second) f
+
+(** Register a condition for both orientations.  Only valid for state-free
+    formulas, whose mirror is a pure renaming; state-dependent conditions
+    must be registered with {!add_directed} in each orientation. *)
+let add_sym t m1 m2 f =
+  if not (Formula.is_state_free f) then
+    invalid_arg "Spec.add_sym: state-dependent formula; use add_directed";
+  add_directed t ~first:m1 ~second:m2 f;
+  if m1 <> m2 then add_directed t ~first:m2 ~second:m1 (Formula.mirror f)
+
+(** The condition for "[first] executed, then [second]".  Defaults to
+    [false] (conservative) when unspecified. *)
+let cond t ~first ~second =
+  match Hashtbl.find_opt t.conditions (first, second) with
+  | Some f -> f
+  | None -> Formula.False
+
+let pairs t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.conditions []
+  |> List.sort Stdlib.compare
+
+(** Classification of a whole specification: the weakest scheme able to
+    implement it (paper §3.4's hierarchy).  A spec is SIMPLE iff all its
+    conditions are; ONLINE-CHECKABLE iff all conditions are at most
+    online-checkable; GENERAL otherwise. *)
+let classify t =
+  let worst = ref Formula.Simple in
+  List.iter
+    (fun ((m1, m2), f) ->
+      ignore m1;
+      ignore m2;
+      match Formula.classify f with
+      | Formula.Simple -> ()
+      | Formula.Online -> if !worst = Formula.Simple then worst := Formula.Online
+      | Formula.General -> worst := Formula.General)
+    (pairs t);
+  !worst
+
+(** All pairs are covered (including same-method pairs) in both
+    orientations; raises otherwise.  Detectors call this at construction
+    time. *)
+let validate ?(require_total = false) t =
+  List.iter
+    (fun ((m1, m2), f) ->
+      if not (Formula.well_formed f) then
+        invalid_arg (Fmt.str "Spec %s: ill-formed condition for (%s,%s)" t.adt m1 m2))
+    (pairs t);
+  if require_total then
+    List.iter
+      (fun (m1 : Invocation.meth) ->
+        List.iter
+          (fun (m2 : Invocation.meth) ->
+            if not (Hashtbl.mem t.conditions (m1.name, m2.name)) then
+              invalid_arg
+                (Fmt.str "Spec %s: missing condition for (%s,%s)" t.adt m1.name
+                   m2.name))
+          t.methods)
+      t.methods
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>spec %s (%a):@," t.adt
+    Fmt.(list ~sep:comma Invocation.pp_meth)
+    t.methods;
+  List.iter
+    (fun ((m1, m2), f) ->
+      Fmt.pf ppf "  %s ; %s  commute if  %a@," m1 m2 Formula.pp f)
+    (pairs t);
+  Fmt.pf ppf "@]"

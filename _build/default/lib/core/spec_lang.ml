@@ -1,0 +1,545 @@
+(** A textual language for commutativity specifications.
+
+    The paper's specifications (Figs. 2–5, 7) are tables "m1 ; m2 commute
+    if φ" with φ in the logic L1.  This module gives them a concrete
+    syntax so specifications can live in [.spec] files, be checked by the
+    CLI, and round-trip through the pretty-printer ({!Formula.pp} output is
+    valid formula syntax).
+
+    {v
+    # the paper's Fig. 2
+    spec set
+    methods add/1 mut, remove/1 mut, contains/1
+
+    add ; add           commute if v1[0] != v2[0] \/ (r1 = false /\ r2 = false)
+    add ; remove        commute if v1[0] != v2[0] \/ (r1 = false /\ r2 = false)
+    add ; contains      commute if v1[0] != v2[0] \/ r1 = false
+    remove ; remove     commute if v1[0] != v2[0] \/ (r1 = false /\ r2 = false)
+    remove ; contains   commute if v1[0] != v2[0] \/ r1 = false
+    contains ; contains commute always
+    v}
+
+    Grammar (comments run [#] to end of line):
+
+    {v
+    spec      ::= "spec" IDENT methods rule*
+    methods   ::= "methods" meth ("," meth)*
+    meth      ::= IDENT "/" INT ["mut"]
+    rule      ::= IDENT ";" IDENT "commute"
+                  ("always" | "never" | "if" formula) ["directed"]
+    formula   ::= conj (OR conj)*        OR is backslash-slash
+    conj      ::= atom (AND atom)*       AND is slash-backslash
+    atom      ::= "!" atom | "(" formula ")" | "true" | "false"
+                | term cmp term
+    cmp       ::= "=" | "!=" | "<" | "<=" | ">" | ">="
+    term      ::= factor (("+" | "-") factor)*
+    factor    ::= prim (("*" | "/") prim)*
+    prim      ::= "v1" "[" INT "]" | "v2" "[" INT "]" | "r1" | "r2"
+                | INT | FLOAT | "(" term ")"
+                | IDENT "(" ("s1" | "s2") ("," term)* ")"   state function
+                | IDENT "(" term ("," term)* ")"            value function
+    v}
+
+    Undeclared method names, arity violations and malformed formulas are
+    reported with line/column positions.  Rules without [directed] are
+    registered in both orientations ({!Spec.add_sym}), which requires the
+    formula to be state-free; state-dependent conditions must say
+    [directed] and give both orientations explicitly, exactly as the
+    library API requires. *)
+
+type pos = { line : int; col : int }
+
+exception Parse_error of pos * string
+
+let parse_error pos fmt = Format.kasprintf (fun m -> raise (Parse_error (pos, m))) fmt
+
+let pp_error ppf (pos, msg) = Fmt.pf ppf "line %d, column %d: %s" pos.line pos.col msg
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | COMMA
+  | SEMI
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | AND (* /\ *)
+  | OR (* \/ *)
+  | BANG
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT i -> Fmt.pf ppf "integer %d" i
+  | FLOAT f -> Fmt.pf ppf "float %g" f
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | LBRACK -> Fmt.string ppf "'['"
+  | RBRACK -> Fmt.string ppf "']'"
+  | COMMA -> Fmt.string ppf "','"
+  | SEMI -> Fmt.string ppf "';'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | EQ -> Fmt.string ppf "'='"
+  | NE -> Fmt.string ppf "'!='"
+  | LT -> Fmt.string ppf "'<'"
+  | LE -> Fmt.string ppf "'<='"
+  | GT -> Fmt.string ppf "'>'"
+  | GE -> Fmt.string ppf "'>='"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | STAR -> Fmt.string ppf "'*'"
+  | AND -> Fmt.string ppf "'/\\'"
+  | OR -> Fmt.string ppf "'\\/'"
+  | BANG -> Fmt.string ppf "'!'"
+  | EOF -> Fmt.string ppf "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize the whole input; each token carries its position. *)
+let tokenize (src : string) : (token * pos) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let i = ref 0 in
+  let pos () = { line = !line; col = !i - !bol + 1 } in
+  let push tok p = toks := (tok, p) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    let p = pos () in
+    if c = '\n' then (
+      incr line;
+      incr i;
+      bol := !i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then (
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done)
+    else if is_ident_start c then (
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (IDENT (String.sub src start (!i - start))) p)
+    else if is_digit c then (
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' then (
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        push (FLOAT (float_of_string (String.sub src start (!i - start)))) p)
+      else push (INT (int_of_string (String.sub src start (!i - start)))) p)
+    else
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "!=" ->
+          push NE p;
+          i := !i + 2
+      | "<=" ->
+          push LE p;
+          i := !i + 2
+      | ">=" ->
+          push GE p;
+          i := !i + 2
+      | "/\\" ->
+          push AND p;
+          i := !i + 2
+      | "\\/" ->
+          push OR p;
+          i := !i + 2
+      | _ -> (
+          incr i;
+          match c with
+          | '(' -> push LPAREN p
+          | ')' -> push RPAREN p
+          | '[' -> push LBRACK p
+          | ']' -> push RBRACK p
+          | ',' -> push COMMA p
+          | ';' -> push SEMI p
+          | '/' -> push SLASH p
+          | '=' -> push EQ p
+          | '<' -> push LT p
+          | '>' -> push GT p
+          | '+' -> push PLUS p
+          | '-' -> push MINUS p
+          | '*' -> push STAR p
+          | '!' -> push BANG p
+          | _ -> parse_error p "unexpected character %C" c)
+  done;
+  List.rev ((EOF, pos ()) :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over the token list                       *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : (token * pos) list }
+
+let peek s = match s.toks with [] -> (EOF, { line = 0; col = 0 }) | t :: _ -> t
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let next s =
+  let t = peek s in
+  advance s;
+  t
+
+let expect s tok what =
+  let got, p = next s in
+  if got <> tok then parse_error p "expected %s, found %a" what pp_token got
+
+let expect_ident s what =
+  match next s with
+  | IDENT x, _ -> x
+  | got, p -> parse_error p "expected %s, found %a" what pp_token got
+
+let expect_int s what =
+  match next s with
+  | INT x, _ -> x
+  | got, p -> parse_error p "expected %s, found %a" what pp_token got
+
+(* ---- terms ---- *)
+
+let rec parse_formula s : Formula.t =
+  let left = parse_conj s in
+  match peek s with
+  | OR, _ ->
+      advance s;
+      Formula.Or (left, parse_formula s)
+  | _ -> left
+
+and parse_conj s : Formula.t =
+  let left = parse_atom s in
+  match peek s with
+  | AND, _ ->
+      advance s;
+      Formula.And (left, parse_conj s)
+  | _ -> left
+
+and parse_atom s : Formula.t =
+  match peek s with
+  | BANG, _ ->
+      advance s;
+      Formula.Not (parse_atom s)
+  | LPAREN, _ -> (
+      (* parenthesized formula or parenthesized term; try formula first by
+         scanning: a formula must eventually contain a comparison or
+         connective before its closing paren balances.  Simpler: parse a
+         term, and if the next token is a comparison finish a comparison,
+         else the parenthesized expression must itself be a formula —
+         re-parse.  We implement the standard trick: parse as formula with
+         backtracking. *)
+      let saved = s.toks in
+      advance s;
+      match parse_formula s with
+      | f -> (
+          match peek s with
+          | RPAREN, _ -> (
+              advance s;
+              (* could still be the left operand of a comparison if f was
+                 actually a term — but terms are not formulas in this
+                 grammar, so a '(' formula ')' followed by a comparison
+                 operator means the input really was a parenthesized term;
+                 backtrack. *)
+              match peek s with
+              | (EQ | NE | LT | LE | GT | GE), _ ->
+                  s.toks <- saved;
+                  parse_cmp s
+              | _ -> f)
+          | _, _ ->
+              s.toks <- saved;
+              parse_cmp s)
+      | exception Parse_error _ ->
+          s.toks <- saved;
+          parse_cmp s)
+  | IDENT ("true" | "false"), _ -> (
+      (* "true"/"false" are formulas on their own but boolean constants
+         inside comparisons ("true != r1"): look one token ahead *)
+      let saved = s.toks in
+      let which = match next s with IDENT w, _ -> w | _ -> assert false in
+      match peek s with
+      | (EQ | NE | LT | LE | GT | GE | PLUS | MINUS | STAR | SLASH), _ ->
+          s.toks <- saved;
+          parse_cmp s
+      | _ -> if which = "true" then Formula.True else Formula.False)
+  | _ -> parse_cmp s
+
+and parse_cmp s : Formula.t =
+  let l = parse_term s in
+  let op, p = next s in
+  let cmp =
+    match op with
+    | EQ -> Formula.Eq
+    | NE -> Formula.Ne
+    | LT -> Formula.Lt
+    | LE -> Formula.Le
+    | GT -> Formula.Gt
+    | GE -> Formula.Ge
+    | got -> parse_error p "expected a comparison operator, found %a" pp_token got
+  in
+  let r = parse_term s in
+  Formula.Cmp (cmp, l, r)
+
+and parse_term s : Formula.term =
+  let left = parse_factor s in
+  match peek s with
+  | PLUS, _ ->
+      advance s;
+      Formula.Arith (Formula.Add, left, parse_term s)
+  | MINUS, _ ->
+      advance s;
+      Formula.Arith (Formula.Sub, left, parse_term s)
+  | _ -> left
+
+and parse_factor s : Formula.term =
+  let left = parse_prim s in
+  match peek s with
+  | STAR, _ ->
+      advance s;
+      Formula.Arith (Formula.Mul, left, parse_factor s)
+  | SLASH, _ ->
+      advance s;
+      Formula.Arith (Formula.Div, left, parse_factor s)
+  | _ -> left
+
+and parse_prim s : Formula.term =
+  match next s with
+  | INT i, _ -> Formula.Const (Value.Int i)
+  | FLOAT f, _ -> Formula.Const (Value.Float f)
+  | MINUS, _ -> (
+      match next s with
+      | INT i, _ -> Formula.Const (Value.Int (-i))
+      | FLOAT f, _ -> Formula.Const (Value.Float (-.f))
+      | got, p -> parse_error p "expected a number after '-', found %a" pp_token got)
+  | LPAREN, _ ->
+      let t = parse_term s in
+      expect s RPAREN "')'";
+      t
+  | IDENT "r1", _ -> Formula.Ret Formula.M1
+  | IDENT "r2", _ -> Formula.Ret Formula.M2
+  | IDENT "v1", _ ->
+      expect s LBRACK "'['";
+      let i = expect_int s "argument index" in
+      expect s RBRACK "']'";
+      Formula.Arg (Formula.M1, i)
+  | IDENT "v2", _ ->
+      expect s LBRACK "'['";
+      let i = expect_int s "argument index" in
+      expect s RBRACK "']'";
+      Formula.Arg (Formula.M2, i)
+  | IDENT "true", _ -> Formula.Const (Value.Bool true)
+  | IDENT "false", _ -> Formula.Const (Value.Bool false)
+  | IDENT "None", _ -> Formula.Const (Value.Opt None)
+  | IDENT name, p -> (
+      match peek s with
+      | LPAREN, _ -> (
+          advance s;
+          (* state function if the first argument is s1/s2 *)
+          match peek s with
+          | IDENT "s1", _ | IDENT "s2", _ ->
+              let state =
+                match next s with
+                | IDENT "s1", _ -> Formula.S1
+                | _ -> Formula.S2
+              in
+              let args = parse_more_args s [] in
+              Formula.Sfun (name, state, args)
+          | _ ->
+              let first = parse_term s in
+              let args = parse_more_args s [ first ] in
+              Formula.Vfun (name, args))
+      | _ -> parse_error p "unknown variable %S (use v1[i], v2[i], r1, r2)" name)
+  | got, p -> parse_error p "expected a term, found %a" pp_token got
+
+and parse_more_args s acc : Formula.term list =
+  match next s with
+  | RPAREN, _ -> List.rev acc
+  | COMMA, _ ->
+      let t = parse_term s in
+      parse_more_args s (t :: acc)
+  | got, p -> parse_error p "expected ',' or ')', found %a" pp_token got
+
+(* ---- spec structure ---- *)
+
+let parse_methods s =
+  expect s (IDENT "methods") "'methods'";
+  let rec one acc =
+    let name = expect_ident s "method name" in
+    expect s SLASH "'/'";
+    let arity = expect_int s "arity" in
+    let mutates =
+      match peek s with
+      | IDENT "mut", _ ->
+          advance s;
+          true
+      | _ -> false
+    in
+    let acc = Invocation.meth ~mutates name arity :: acc in
+    match peek s with
+    | COMMA, _ ->
+        advance s;
+        one acc
+    | _ -> List.rev acc
+  in
+  one []
+
+type rule = {
+  m1 : string;
+  m2 : string;
+  cond : Formula.t;
+  directed : bool;
+  rule_pos : pos;
+}
+
+let parse_rule s : rule =
+  let _, rule_pos = peek s in
+  let m1 = expect_ident s "method name" in
+  expect s SEMI "';'";
+  let m2 = expect_ident s "method name" in
+  expect s (IDENT "commute") "'commute'";
+  let cond =
+    match next s with
+    | IDENT "always", _ -> Formula.True
+    | IDENT "never", _ -> Formula.False
+    | IDENT "if", _ -> parse_formula s
+    | got, p -> parse_error p "expected 'always', 'never' or 'if', found %a" pp_token got
+  in
+  let directed =
+    match peek s with
+    | IDENT "directed", _ ->
+        advance s;
+        true
+    | _ -> false
+  in
+  { m1; m2; cond; directed; rule_pos }
+
+(** Parse a full specification.  [vfuns] supplies interpretations for the
+    pure value functions the formulas mention (needed to {e run} detectors
+    built from the spec; classification and lock synthesis work without
+    them). *)
+let parse ?(vfuns = []) (src : string) : Spec.t =
+  let s = { toks = tokenize src } in
+  expect s (IDENT "spec") "'spec'";
+  let adt = expect_ident s "specification name" in
+  let methods = parse_methods s in
+  let spec = Spec.create ~vfuns ~adt methods in
+  let has m = List.exists (fun (x : Invocation.meth) -> x.name = m) methods in
+  let rec rules () =
+    match peek s with
+    | EOF, _ -> ()
+    | _ ->
+        let r = parse_rule s in
+        if not (has r.m1) then parse_error r.rule_pos "unknown method %S" r.m1;
+        if not (has r.m2) then parse_error r.rule_pos "unknown method %S" r.m2;
+        (* arity check: argument indices must be in range *)
+        let check_arity side m =
+          let meth = List.find (fun (x : Invocation.meth) -> x.name = m) methods in
+          let rec term = function
+            | Formula.Arg (sd, i) when sd = side && i >= meth.Invocation.arity ->
+                parse_error r.rule_pos
+                  "argument index %d out of range for %s/%d" i m
+                  meth.Invocation.arity
+            | Formula.Arg _ | Formula.Ret _ | Formula.Const _ -> ()
+            | Formula.Sfun (_, _, args) | Formula.Vfun (_, args) -> List.iter term args
+            | Formula.Arith (_, a, b) ->
+                term a;
+                term b
+          in
+          let rec go = function
+            | Formula.True | Formula.False -> ()
+            | Formula.Cmp (_, a, b) ->
+                term a;
+                term b
+            | Formula.Not f -> go f
+            | Formula.And (a, b) | Formula.Or (a, b) ->
+                go a;
+                go b
+          in
+          go r.cond
+        in
+        check_arity Formula.M1 r.m1;
+        check_arity Formula.M2 r.m2;
+        (if r.directed then Spec.add_directed spec ~first:r.m1 ~second:r.m2 r.cond
+         else
+           try Spec.add_sym spec r.m1 r.m2 r.cond
+           with Invalid_argument _ ->
+             parse_error r.rule_pos
+               "state-dependent condition: add 'directed' and give both \
+                orientations explicitly");
+        rules ()
+  in
+  rules ();
+  spec
+
+(** Parse just a formula (the syntax accepted after [commute if]). *)
+let parse_formula_string (src : string) : Formula.t =
+  let s = { toks = tokenize src } in
+  let f = parse_formula s in
+  (match peek s with
+  | EOF, _ -> ()
+  | got, p -> parse_error p "trailing input: %a" pp_token got);
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Printing: specs back to the textual form                            *)
+(* ------------------------------------------------------------------ *)
+
+let print_spec ppf (spec : Spec.t) =
+  Fmt.pf ppf "spec %s@." (Spec.adt spec);
+  Fmt.pf ppf "methods %a@."
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (m : Invocation.meth) ->
+          Fmt.pf ppf "%s/%d%s" m.name m.arity (if m.mutates then " mut" else "")))
+    (Spec.methods spec);
+  (* print each unordered pair once when symmetric, both when not *)
+  let pairs = Spec.pairs spec in
+  let printed = Hashtbl.create 16 in
+  List.iter
+    (fun ((m1, m2), f) ->
+      if not (Hashtbl.mem printed (m1, m2)) then begin
+        let mirror_matches =
+          Formula.is_state_free f
+          && (m1 = m2
+             ||
+             let g = Spec.cond spec ~first:m2 ~second:m1 in
+             Formula.equal g (Formula.mirror f))
+        in
+        let body ppf = function
+          | Formula.True -> Fmt.string ppf "commute always"
+          | Formula.False -> Fmt.string ppf "commute never"
+          | f -> Fmt.pf ppf "commute if %a" Formula.pp f
+        in
+        if mirror_matches && m1 <= m2 then begin
+          Hashtbl.replace printed (m1, m2) ();
+          Hashtbl.replace printed (m2, m1) ();
+          Fmt.pf ppf "%s ; %s %a@." m1 m2 body f
+        end
+        else if not (mirror_matches && m2 < m1) then begin
+          Hashtbl.replace printed (m1, m2) ();
+          Fmt.pf ppf "%s ; %s %a directed@." m1 m2 body f
+        end
+      end)
+    pairs
+
+let spec_to_string spec = Fmt.str "%a" print_spec spec

@@ -1,0 +1,36 @@
+(** A textual language for commutativity specifications.
+
+    The paper's specifications (Figs. 2–5, 7) are tables "m1 ; m2 commute
+    if φ" with φ in the logic L1; this module gives them a concrete syntax
+    so specifications can live in [.spec] files, be inspected by the
+    [commlat] CLI, and round-trip through the pretty-printer
+    ({!Formula.pp} output is valid formula syntax).  See the module
+    implementation header and [examples/specs/] for the grammar and
+    examples.
+
+    Rules without the [directed] keyword are registered in both
+    orientations ({!Spec.add_sym}), which requires the formula to be
+    state-free; state-dependent conditions must say [directed] and give
+    both orientations explicitly. *)
+
+type pos = { line : int; col : int }
+
+exception Parse_error of pos * string
+
+val pp_error : (pos * string) Fmt.t
+
+(** Parse a full specification.  [vfuns] supplies interpretations for the
+    pure value functions the formulas mention (needed to {e run} detectors
+    built from the spec; classification and lock synthesis work without
+    them).  Reports unknown methods, out-of-range argument indices and
+    malformed formulas with line/column positions. *)
+val parse : ?vfuns:(string * (Value.t list -> Value.t)) list -> string -> Spec.t
+
+(** Parse just a formula (the syntax accepted after [commute if]). *)
+val parse_formula_string : string -> Formula.t
+
+(** Print a specification in the textual form; {!parse} of the output
+    reconstructs an equivalent specification. *)
+val print_spec : Spec.t Fmt.t
+
+val spec_to_string : Spec.t -> string

@@ -1,0 +1,93 @@
+(** Disciplined strengthening: moving {e down} the commutativity lattice
+    (paper §4).
+
+    Each transform takes a specification and produces one that is provably
+    lower in the lattice (every new condition syntactically implies the old
+    one), so a detector that is sound for the output is sound for the input
+    — the paper's recipe for trading parallelism for overhead. *)
+
+(** Apply [f] to every condition.  The caller is responsible for [f] being
+    non-increasing; {!check_strengthening} verifies it. *)
+let map_conditions ?adt (spec : Spec.t) f =
+  let adt = match adt with Some a -> a | None -> Spec.adt spec in
+  let out = Spec.create ~vfuns:spec.Spec.vfuns ~adt (Spec.methods spec) in
+  List.iter
+    (fun ((m1, m2), cond) -> Spec.add_directed out ~first:m1 ~second:m2 (f cond))
+    (Spec.pairs spec);
+  out
+
+(** Every condition of the output syntactically implies the corresponding
+    condition of the input. *)
+let check_strengthening ~(stronger : Spec.t) ~(weaker : Spec.t) =
+  Lattice.spec_leq stronger weaker
+
+(* --------------------------------------------------------------- *)
+(* The SIMPLE core of a condition                                   *)
+(* --------------------------------------------------------------- *)
+
+(** The strongest SIMPLE formula obtainable from [f] by dropping disjuncts
+    and replacing non-SIMPLE residue by [false].  This is exactly the move
+    from the precise set spec (Fig. 2) to the strengthened one (Fig. 3):
+    [a != b \/ (r1 = false /\ r2 = false)] becomes [a != b]. *)
+let rec simple_core (f : Formula.t) : Formula.t =
+  if Formula.is_simple f then f
+  else
+    match f with
+    | Formula.Or (a, b) -> (
+        match (simple_core a, simple_core b) with
+        | Formula.False, c | c, Formula.False -> c
+        | a', _ ->
+            (* keep a single branch: a disjunction of SIMPLE formulas is not
+               SIMPLE (L2 has no \/) *)
+            a')
+    | Formula.And (a, b) -> (
+        match (simple_core a, simple_core b) with
+        | Formula.False, _ | _, Formula.False -> Formula.False
+        | a', b' -> Formula.simplify (Formula.And (a', b')))
+    | _ -> Formula.False
+
+(** Strengthen a whole spec to its SIMPLE core — the systematic way to
+    obtain an abstract-lockable spec from any spec. *)
+let simple_spec ?adt spec = map_conditions ?adt spec simple_core
+
+(* --------------------------------------------------------------- *)
+(* Partition-based lock coarsening (paper §4.2)                     *)
+(* --------------------------------------------------------------- *)
+
+(** Replace every SIMPLE clause [t1 != t2] by [part(t1) != part(t2)], where
+    [part] maps data elements to partition ids.  Since
+    [part(a) != part(b) => a != b], the result is lower in the lattice; the
+    induced locking scheme locks partitions instead of elements. *)
+let partitioned ?adt ~part_name ~(part : Value.t -> Value.t) (spec : Spec.t) =
+  let coarsen_clause = function
+    | Formula.Cmp (Formula.Ne, a, b) as c when Option.is_some (Formula.simple_clause c)
+      ->
+        Formula.Cmp
+          (Formula.Ne, Formula.Vfun (part_name, [ a ]), Formula.Vfun (part_name, [ b ]))
+    | c -> c
+  in
+  let rec coarsen = function
+    | Formula.And (a, b) -> Formula.And (coarsen a, coarsen b)
+    | (Formula.Cmp _ | Formula.True | Formula.False) as c -> coarsen_clause c
+    | c -> c
+  in
+  let coarsen_cond f = if Formula.is_simple f then coarsen f else f in
+  let out = map_conditions ?adt spec coarsen_cond in
+  {
+    out with
+    Spec.vfuns =
+      (part_name, function [ v ] -> part v | _ -> Value.type_error "part/1")
+      :: out.Spec.vfuns;
+  }
+
+(* --------------------------------------------------------------- *)
+(* Forcing pairs to conflict                                        *)
+(* --------------------------------------------------------------- *)
+
+(** Set the conditions for the given ordered pairs to [false] (e.g. turning
+    read/write locks into exclusive locks by forbidding reader/reader
+    sharing, as in the preflow-push [ex] variant, paper §5). *)
+let force_false ?adt (spec : Spec.t) pairs =
+  let out = map_conditions ?adt spec Fun.id in
+  List.iter (fun (m1, m2) -> Spec.add_directed out ~first:m1 ~second:m2 Formula.False) pairs;
+  out

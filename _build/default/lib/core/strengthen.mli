@@ -1,0 +1,40 @@
+(** Disciplined strengthening: moving {e down} the commutativity lattice
+    (paper §4).
+
+    Each transform produces a specification provably lower in the lattice
+    (every new condition syntactically implies the old one), so a detector
+    that is sound for the output is sound for the input — the paper's
+    recipe for trading parallelism for overhead. *)
+
+(** Apply [f] to every condition.  The caller is responsible for [f] being
+    non-increasing; {!check_strengthening} verifies it. *)
+val map_conditions : ?adt:string -> Spec.t -> (Formula.t -> Formula.t) -> Spec.t
+
+(** [check_strengthening ~stronger ~weaker]: every condition of [stronger]
+    syntactically implies the corresponding condition of [weaker]. *)
+val check_strengthening : stronger:Spec.t -> weaker:Spec.t -> bool
+
+(** The strongest SIMPLE formula obtainable from [f] by dropping disjuncts
+    and replacing non-SIMPLE residue by [false] — exactly the move from the
+    precise set spec (Fig. 2) to the strengthened one (Fig. 3). *)
+val simple_core : Formula.t -> Formula.t
+
+(** Strengthen a whole spec to its SIMPLE core: the systematic way to
+    obtain an abstract-lockable spec from any spec (§4.1). *)
+val simple_spec : ?adt:string -> Spec.t -> Spec.t
+
+(** Partition-based lock coarsening (paper §4.2): replace every SIMPLE
+    clause [t1 != t2] by [part(t1) != part(t2)].  Since
+    [part(a) != part(b) => a != b] the result is lower in the lattice; the
+    induced locking scheme locks partitions instead of elements. *)
+val partitioned :
+  ?adt:string ->
+  part_name:string ->
+  part:(Value.t -> Value.t) ->
+  Spec.t ->
+  Spec.t
+
+(** Set the conditions for the given ordered pairs to [false] (e.g. turning
+    read/write locks into exclusive locks by forbidding reader sharing, as
+    in the preflow-push [ex] variant, paper §5). *)
+val force_false : ?adt:string -> Spec.t -> (string * string) list -> Spec.t

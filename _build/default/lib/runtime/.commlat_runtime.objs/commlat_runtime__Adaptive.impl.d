@@ -1,0 +1,1 @@
+lib/runtime/adaptive.ml: Commlat_core Detector Executor Float Fmt List Txn

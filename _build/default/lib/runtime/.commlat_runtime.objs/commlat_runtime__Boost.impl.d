@@ -1,0 +1,1 @@
+lib/runtime/boost.ml: Commlat_core Detector Invocation Txn Value

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Atomic Commlat_core Detector Domain Fmt List Mutex Queue Txn Unix

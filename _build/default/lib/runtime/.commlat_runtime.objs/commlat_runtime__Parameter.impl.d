@@ -1,0 +1,1 @@
+lib/runtime/parameter.ml: Executor Fmt

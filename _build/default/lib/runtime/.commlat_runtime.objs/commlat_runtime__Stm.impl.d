@@ -1,0 +1,1 @@
+lib/runtime/stm.ml: Commlat_adts Commlat_core Detector Fmt Hashtbl Invocation List Mem_trace Mutex

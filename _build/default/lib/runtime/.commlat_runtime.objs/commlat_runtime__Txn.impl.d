@@ -1,0 +1,1 @@
+lib/runtime/txn.ml: Atomic List

@@ -1,0 +1,88 @@
+(** Adaptive conflict-detector selection.
+
+    The paper closes §5 with: "the ability to rank checkers by permittivity
+    can allow an automated system to adaptively and dynamically select from
+    these implementations as run-time needs change, given observations of
+    parallelism and overhead, though we leave the design and development of
+    such a system to future work."  This module is that system, for the
+    bulk-synchronous executor:
+
+    + the library author supplies {e candidates} — conflict detectors built
+      from different points of a data structure's commutativity lattice,
+      each able to (re)build itself against fresh application state;
+    + {!choose} runs a {e sampling prefix} of the workload under each
+      candidate, measuring throughput (which folds together the detector's
+      overhead [o_d] and the parallelism [a_d] it admits at the requested
+      processor count — exactly the two quantities the paper's
+      [T·o_d/min(a_d,p)] model trades off);
+    + the winner runs the full workload.
+
+    Sampling re-executes the prefix from scratch per candidate, so the
+    candidate constructor must provide fresh state each time (the same
+    requirement the benchmarks have). *)
+
+open Commlat_core
+
+type 'w candidate = {
+  name : string;
+  prepare : unit -> Detector.t * (Txn.t -> 'w -> 'w list) * 'w list;
+      (** fresh application state + detector + operator + initial worklist *)
+}
+
+type 'w decision = {
+  winner : 'w candidate;
+  scores : (string * float) list;  (** virtual time per iteration, lower wins *)
+  samples : int;
+}
+
+(** Score = estimated virtual runtime per unit of useful work on
+    [processors] simulated processors: [makespan / committed], scaled by
+    the measured per-unit wall cost.  Folds overhead and admitted
+    parallelism into one number, exactly what the paper's model divides. *)
+let score ~processors ~sample_size (c : 'w candidate) : float =
+  let detector, operator, init = c.prepare () in
+  let prefix =
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: r -> x :: take (n - 1) r
+    in
+    take sample_size init
+  in
+  let s = Executor.run_rounds ~processors ~detector ~operator prefix in
+  if s.Executor.committed = 0 then infinity
+  else
+    let per_unit_wall = s.Executor.wall_s /. Float.max 1.0 s.Executor.total_work in
+    per_unit_wall *. s.Executor.makespan /. float_of_int s.Executor.committed
+
+(** Sample every candidate on a prefix of the workload and pick the one
+    with the lowest virtual per-iteration cost. *)
+let choose ?(processors = 4) ?(sample_size = 64) (candidates : 'w candidate list) :
+    'w decision =
+  match candidates with
+  | [] -> invalid_arg "Adaptive.choose: no candidates"
+  | _ ->
+      let scores =
+        List.map (fun c -> (c.name, score ~processors ~sample_size c)) candidates
+      in
+      let winner =
+        List.fold_left
+          (fun best c ->
+            let sc n = List.assoc n scores in
+            if sc c.name < sc best.name then c else best)
+          (List.hd candidates) candidates
+      in
+      { winner; scores; samples = sample_size }
+
+(** Sample, pick, and run the winner on the full workload.  Returns the
+    decision and the winning run's stats. *)
+let run ?(processors = 4) ?(sample_size = 64) (candidates : 'w candidate list) :
+    'w decision * Executor.stats =
+  let decision = choose ~processors ~sample_size candidates in
+  let detector, operator, init = decision.winner.prepare () in
+  let stats = Executor.run_rounds ~processors ~detector ~operator init in
+  (decision, stats)
+
+let pp_decision ppf (d : _ decision) =
+  Fmt.pf ppf "winner=%s after %d samples:" d.winner.name d.samples;
+  List.iter (fun (n, s) -> Fmt.pf ppf " %s=%.3gus" n (1e6 *. s)) d.scores

@@ -1,0 +1,30 @@
+(** Boosted method invocation: the glue between application transactions,
+    conflict detectors and ADT undo actions.
+
+    The undo action is registered {e before} the detector runs the method:
+    gatekeepers (and the STM baseline) execute the method first and may
+    detect the conflict afterwards, and in that case the half-done
+    transaction must still roll the invocation back.  ADT undo functions
+    dispatch on [inv.ret], which is only set once the method has actually
+    executed — so an undo registered for an invocation that never ran is a
+    no-op. *)
+
+open Commlat_core
+
+(** [invoke det txn ~undo meth args exec]: run [exec inv] under conflict
+    detection on behalf of [txn], with [undo inv] registered as the
+    transaction-rollback action.  Returns the method's result; raises
+    {!Detector.Conflict} if the invocation does not commute with a live
+    one. *)
+let invoke (det : Detector.t) (txn : Txn.t) ~(undo : Invocation.t -> unit)
+    (meth : Invocation.meth) (args : Value.t array)
+    (exec : Invocation.t -> Value.t) : Value.t =
+  let inv = Invocation.make ~txn:(Txn.id txn) meth args in
+  if meth.Invocation.concrete then Txn.push_undo txn (fun () -> undo inv);
+  det.Detector.on_invoke inv (fun () -> exec inv)
+
+(** Read-only invocation: no undo needed. *)
+let invoke_ro (det : Detector.t) (txn : Txn.t) (meth : Invocation.meth)
+    (args : Value.t array) (exec : Invocation.t -> Value.t) : Value.t =
+  let inv = Invocation.make ~txn:(Txn.id txn) meth args in
+  det.Detector.on_invoke inv (fun () -> exec inv)

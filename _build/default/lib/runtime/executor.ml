@@ -1,0 +1,210 @@
+(** Speculative executors for amorphous data-parallel loops.
+
+    Applications are expressed Galois-style: a worklist of items and an
+    {e operator} that processes one item inside a transaction, performing
+    method invocations on shared ADTs through a conflict {!Detector} and
+    returning newly generated work.  Two executors are provided:
+
+    - {!run_rounds} — a deterministic {e bulk-synchronous} speculative
+      executor: in each round up to [processors] pending items execute as
+      concurrent transactions (their locks/log entries coexist in the
+      detector), survivors commit at the end of the round, conflict victims
+      roll back and retry in a later round.  With [processors = max_int] and
+      unit costs this is exactly the ParaMeter methodology the paper uses to
+      measure available parallelism (see {!Parameter}); with a finite
+      [processors] it is the discrete-event simulator behind the
+      runtime-vs-threads figures (DESIGN.md §4.1).
+    - {!run_domains} — real concurrency on OCaml 5 domains, used by the
+      integration tests; interleaving is at method-invocation granularity.
+
+    The operator {b must} register an undo action with its transaction for
+    every mutation it performs, so aborts can roll back. *)
+
+open Commlat_core
+
+type stats = {
+  committed : int;  (** iterations that committed *)
+  aborted : int;  (** iteration executions that rolled back *)
+  rounds : int;  (** # of bulk-synchronous rounds = critical path length *)
+  makespan : float;  (** sum over rounds of the max iteration cost *)
+  total_work : float;  (** summed cost of every execution, retries included *)
+  wall_s : float;  (** real elapsed seconds *)
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "committed=%d aborted=%d (abort ratio %.2f%%) rounds=%d makespan=%.0f \
+     total=%.0f wall=%.3fs"
+    s.committed s.aborted
+    (100.0 *. float_of_int s.aborted /. float_of_int (max 1 (s.committed + s.aborted)))
+    s.rounds s.makespan s.total_work s.wall_s
+
+let abort_ratio s =
+  float_of_int s.aborted /. float_of_int (max 1 (s.committed + s.aborted))
+
+(** Average parallelism in the ParaMeter sense: committed iterations per
+    round. *)
+let parallelism s = float_of_int s.committed /. float_of_int (max 1 s.rounds)
+
+(* ------------------------------------------------------------------ *)
+(* Bulk-synchronous speculative executor                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A functional deque: conflict victims are pushed to the {e front} so they
+   run first in the next round.  The first transaction of a round can never
+   conflict (it checks against an empty active set), so this policy makes
+   global progress provable — and breaks the reader-pins-writer livelocks
+   that plain FIFO retry can cycle through forever (a contention-management
+   decision; the paper notes each benchmark used "the best available
+   contention manager"). *)
+let run_rounds ?(processors = 4) ?(cost = fun _ -> 1.0) ~(detector : Detector.t)
+    ~(operator : Txn.t -> 'w -> 'w list) (init : 'w list) : stats =
+  let front = ref [] and back = ref [] and size = ref 0 in
+  let push_back w =
+    back := w :: !back;
+    incr size
+  in
+  let push_front_all ws =
+    front := ws @ !front;
+    size := !size + List.length ws
+  in
+  let rec pop () =
+    match !front with
+    | w :: rest ->
+        front := rest;
+        decr size;
+        w
+    | [] ->
+        assert (!back <> []);
+        front := List.rev !back;
+        back := [];
+        pop ()
+  in
+  List.iter push_back init;
+  let committed = ref 0 and aborted = ref 0 and rounds = ref 0 in
+  let makespan = ref 0.0 and total = ref 0.0 in
+  let t0 = Unix.gettimeofday () in
+  while !size > 0 do
+    incr rounds;
+    let batch_size = min processors !size in
+    let batch = List.init batch_size (fun _ -> pop ()) in
+    let round_max = ref 0.0 in
+    let survivors = ref [] (* (txn, new work), newest first *) in
+    let retry = ref [] in
+    List.iter
+      (fun item ->
+        let txn = Txn.fresh () in
+        let c = cost item in
+        total := !total +. c;
+        if c > !round_max then round_max := c;
+        match operator txn item with
+        | produced -> survivors := (txn, produced) :: !survivors
+        | exception Detector.Conflict _ ->
+            incr aborted;
+            Txn.rollback txn;
+            detector.Detector.on_abort (Txn.id txn);
+            retry := item :: !retry)
+      batch;
+    (* Commit survivors (releases their locks / log entries), then requeue:
+       conflict victims at the front, freshly produced work at the back. *)
+    List.iter
+      (fun (txn, produced) ->
+        incr committed;
+        Txn.commit txn;
+        detector.Detector.on_commit (Txn.id txn);
+        List.iter push_back produced)
+      (List.rev !survivors);
+    push_front_all (List.rev !retry);
+    makespan := !makespan +. !round_max
+  done;
+  {
+    committed = !committed;
+    aborted = !aborted;
+    rounds = !rounds;
+    makespan = !makespan;
+    total_work = !total;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+(** Plain sequential execution (one item at a time, conflict detection
+    still active if the detector has any).  [run_rounds ~processors:1]
+    specialised; used for the overhead measurements [o_d]. *)
+let run_sequential ?cost ~detector ~operator init =
+  run_rounds ~processors:1 ?cost ~detector ~operator init
+
+(* ------------------------------------------------------------------ *)
+(* Domain-based executor                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Real concurrency on OCaml 5 domains.  Whole operator runs, commits and
+    rollbacks are serialized under one mutex: transactions from different
+    domains never interleave {e within} an operator, but their lock/log
+    lifetimes overlap (locks are released only at the commit step), so
+    cross-domain conflicts, aborts and retries are fully exercised while
+    shared ADT state stays race-free.  [operator] receives the detector it
+    should route invocations through (the same one passed in). *)
+let run_domains ?(domains = 2) ~(detector : Detector.t)
+    ~(operator : Detector.t -> Txn.t -> 'w -> 'w list) (init : 'w list) : stats =
+  let world = Mutex.create () in
+  let det = detector in
+  let operator = operator det in
+  let q = Queue.create () in
+  List.iter (fun w -> Queue.add w q) init;
+  let qmu = Mutex.create () in
+  let pending = Atomic.make (List.length init) in
+  let committed = Atomic.make 0 and aborted = Atomic.make 0 in
+  let pop () =
+    Mutex.protect qmu (fun () -> if Queue.is_empty q then None else Some (Queue.pop q))
+  in
+  let push items =
+    match items with
+    | [] -> ()
+    | _ -> Mutex.protect qmu (fun () -> List.iter (fun w -> Queue.add w q) items)
+  in
+  let t0 = Unix.gettimeofday () in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      match pop () with
+      | None -> if Atomic.get pending = 0 then continue := false else Domain.cpu_relax ()
+      | Some item -> (
+          let txn = Txn.fresh () in
+          (* the rollback must happen inside the SAME critical section as
+             the operator: if the Conflict exception released the mutex
+             first, another worker's operator could observe the doomed
+             transaction's not-yet-undone effects *)
+          let outcome =
+            Mutex.protect world (fun () ->
+                match operator txn item with
+                | produced -> `Ok produced
+                | exception Detector.Conflict _ ->
+                    Txn.rollback txn;
+                    det.Detector.on_abort (Txn.id txn);
+                    `Conflict)
+          in
+          match outcome with
+          | `Ok produced ->
+              Atomic.incr committed;
+              Mutex.protect world (fun () ->
+                  Txn.commit txn;
+                  det.Detector.on_commit (Txn.id txn));
+              Atomic.fetch_and_add pending (List.length produced) |> ignore;
+              push produced;
+              Atomic.decr pending
+          | `Conflict ->
+              Atomic.incr aborted;
+              Domain.cpu_relax ();
+              push [ item ] (* retry; [pending] unchanged *))
+    done
+  in
+  let ds = List.init (max 1 (domains - 1)) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join ds;
+  {
+    committed = Atomic.get committed;
+    aborted = Atomic.get aborted;
+    rounds = 0;
+    makespan = 0.0;
+    total_work = float_of_int (Atomic.get committed + Atomic.get aborted);
+    wall_s = Unix.gettimeofday () -. t0;
+  }

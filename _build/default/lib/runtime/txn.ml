@@ -1,0 +1,33 @@
+(** Transactions: one speculative iteration of an amorphous-data-parallel
+    loop (one unit of Galois-style optimistic work).
+
+    A transaction accumulates undo actions as it performs method
+    invocations; {!rollback} runs them newest-first, restoring the abstract
+    state the transaction saw when it started. *)
+
+type status = Running | Committed | Aborted
+
+type t = {
+  id : int;
+  mutable undo : (unit -> unit) list;  (** newest first *)
+  mutable status : status;
+}
+
+let counter = Atomic.make 1
+
+let fresh () = { id = Atomic.fetch_and_add counter 1; undo = []; status = Running }
+
+let id t = t.id
+
+(** Register the inverse of an action just performed. *)
+let push_undo t f = t.undo <- f :: t.undo
+
+let commit t =
+  t.status <- Committed;
+  t.undo <- []
+
+(** Undo everything the transaction did, newest action first. *)
+let rollback t =
+  List.iter (fun f -> f ()) t.undo;
+  t.undo <- [];
+  t.status <- Aborted

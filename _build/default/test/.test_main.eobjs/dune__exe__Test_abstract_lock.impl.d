@@ -1,0 +1,1 @@
+test/test_abstract_lock.ml: Abstract_lock Accumulator Alcotest Array Commlat_adts Commlat_core Detector Fmt Formula Fun Hashtbl Invocation Iset Kdtree List QCheck QCheck_alcotest Spec Value

@@ -1,0 +1,1 @@
+test/test_formula.ml: Accumulator Alcotest Commlat_adts Commlat_core Flow_graph Fmt Formula Iset Kdtree List QCheck QCheck_alcotest Spec Union_find Value

@@ -1,0 +1,1 @@
+test/test_general_gatekeeper.ml: Alcotest Array Commlat_adts Commlat_core Commlat_runtime Detector Executor Fmt Gatekeeper Gen History Invocation List QCheck QCheck_alcotest Txn Union_find Value

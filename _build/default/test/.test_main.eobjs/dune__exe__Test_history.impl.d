@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array Commlat_adts Commlat_core Dump Fmt Formula History Invocation Iset Kdtree List QCheck QCheck_alcotest Spec Union_find Value

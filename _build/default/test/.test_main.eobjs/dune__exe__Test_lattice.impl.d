@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Commlat_adts Commlat_core Flow_graph Formula Iset Lattice List QCheck QCheck_alcotest Test_formula Value

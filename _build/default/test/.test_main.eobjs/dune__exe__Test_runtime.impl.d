@@ -1,0 +1,1 @@
+test/test_runtime.ml: Abstract_lock Alcotest Boost Commlat_adts Commlat_core Commlat_runtime Detector Executor Fmt Gen Invocation Iset List Mem_trace QCheck QCheck_alcotest Stats Txn Value

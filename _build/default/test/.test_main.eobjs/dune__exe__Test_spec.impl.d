@@ -1,0 +1,1 @@
+test/test_spec.ml: Accumulator Alcotest Commlat_adts Commlat_core Flow_graph Formula Invocation Iset Kdtree List Spec Union_find Value

@@ -1,0 +1,1 @@
+test/test_stm.ml: Alcotest Array Commlat_adts Commlat_core Commlat_runtime Detector Executor Fmt Gatekeeper Gen History Invocation Iset List Mem_trace QCheck QCheck_alcotest Stm Txn Union_find Value

@@ -1,0 +1,1 @@
+test/test_strengthen.ml: Alcotest Commlat_adts Commlat_core Flow_graph Fmt Formula Iset List Spec Strengthen

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Array Commlat_core Float Int QCheck QCheck_alcotest Value

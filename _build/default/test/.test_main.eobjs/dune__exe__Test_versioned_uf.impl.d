@@ -1,0 +1,1 @@
+test/test_versioned_uf.ml: Alcotest Commlat_adts Commlat_core Detector Fmt Fun Gatekeeper Gen Invocation List QCheck QCheck_alcotest Union_find Union_find_versioned Value

@@ -1,0 +1,134 @@
+(* Tests of the adaptive detector selection (the paper's §5 future-work
+   system). *)
+
+open Commlat_core
+open Commlat_adts
+open Commlat_runtime
+open Commlat_apps
+
+let check_bool = Alcotest.(check bool)
+
+(* Candidates for the set microbenchmark on a contended input. *)
+let set_candidate scheme n classes : Set_micro.op Adaptive.candidate =
+  ignore n;
+  {
+    Adaptive.name = Set_micro.scheme_name scheme;
+    prepare =
+      (fun () ->
+        let set = Iset.create () in
+        let det = Set_micro.detector_of set scheme in
+        (det, Set_micro.operator set det, Set_micro.ops ~classes n));
+  }
+
+(* a deterministic discrimination test: one candidate's detector burns
+   artificial time per invocation, the other is free — adaptive must pick
+   the free one and run the workload to completion *)
+let slow_detector () =
+  {
+    Detector.name = "slow";
+    on_invoke =
+      (fun inv exec ->
+        (* busy-work: the candidate is functionally fine, just expensive *)
+        let acc = ref 0 in
+        for i = 0 to 20_000 do
+          acc := !acc + i
+        done;
+        ignore !acc;
+        let r = exec () in
+        inv.Invocation.ret <- r;
+        r);
+    on_commit = ignore;
+    on_abort = ignore;
+    reset = ignore;
+  }
+
+let test_picks_the_cheap_candidate () =
+  let mk name slow : int Adaptive.candidate =
+    {
+      Adaptive.name;
+      prepare =
+        (fun () ->
+          let acc = Accumulator.create () in
+          let det = if slow then slow_detector () else Detector.none in
+          let operator (txn : Txn.t) x =
+            Accumulator.invoke_increment det acc ~txn:(Txn.id txn) x;
+            []
+          in
+          (det, operator, List.init 512 Fun.id));
+    }
+  in
+  let decision, stats =
+    Adaptive.run ~processors:4 ~sample_size:128 [ mk "slow" true; mk "fast" false ]
+  in
+  Alcotest.(check string) "winner" "fast" decision.Adaptive.winner.Adaptive.name;
+  check_bool "full run completed" true (stats.Executor.committed = 512)
+
+let test_scores_all_candidates () =
+  let candidates = List.map (fun s -> set_candidate s 500 0) Set_micro.all_schemes in
+  let decision = Adaptive.choose ~processors:4 ~sample_size:100 candidates in
+  Alcotest.(check int)
+    "one score per candidate"
+    (List.length Set_micro.all_schemes)
+    (List.length decision.Adaptive.scores);
+  List.iter
+    (fun (_, s) -> check_bool "finite score" true (Float.is_finite s))
+    decision.Adaptive.scores
+
+let test_empty_candidates () =
+  Alcotest.check_raises "no candidates"
+    (Invalid_argument "Adaptive.choose: no candidates") (fun () ->
+      ignore (Adaptive.choose ([] : unit Adaptive.candidate list)))
+
+(* Boruvka: adaptive choice between the general gatekeeper and the STM
+   baseline still computes a correct MST. *)
+let test_boruvka_adaptive () =
+  let mesh = Mesh.generate ~rows:10 ~cols:10 () in
+  let result = ref [] in
+  let mk name variant : int Adaptive.candidate =
+    {
+      Adaptive.name;
+      prepare =
+        (fun () ->
+          let t = Boruvka.create ~mesh () in
+          let det =
+            match variant with
+            | `Gk ->
+                fst
+                  (Gatekeeper.general
+                     ~hooks:(Union_find.hooks t.Boruvka.uf)
+                     (Union_find.spec ()))
+            | `Ml ->
+                let det, tracer = Stm.create () in
+                Union_find.set_tracer t.Boruvka.uf tracer;
+                det
+          in
+          result := [];
+          let operator txn item =
+            let out = Boruvka.operator t det txn item in
+            result := t.Boruvka.mst;
+            out
+          in
+          ( Boruvka.full_detector t det,
+            operator,
+            List.init mesh.Mesh.nodes Fun.id ))
+    }
+  in
+  let decision, stats =
+    Adaptive.run ~processors:4 ~sample_size:32 [ mk "uf-gk" `Gk; mk "uf-ml" `Ml ]
+  in
+  ignore stats;
+  ignore decision;
+  Alcotest.(check int)
+    "mst weight"
+    (Reference.mst_weight ~n:mesh.Mesh.nodes mesh.Mesh.edges)
+    (Boruvka.mst_weight !result)
+
+let suite =
+  [
+    Alcotest.test_case "picks the cheap candidate" `Quick
+      test_picks_the_cheap_candidate;
+    Alcotest.test_case "scores all candidates" `Quick test_scores_all_candidates;
+    Alcotest.test_case "rejects empty candidate list" `Quick test_empty_candidates;
+    Alcotest.test_case "boruvka adaptive run is correct" `Quick
+      test_boruvka_adaptive;
+  ]

@@ -1,0 +1,175 @@
+(* Tests of the speculative executors: round semantics, retry policy,
+   accounting, the ParaMeter profile, and real-domain execution. *)
+
+open Commlat_core
+open Commlat_adts
+open Commlat_runtime
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* an operator over the accumulator: each item increments once *)
+let acc_operator acc det (txn : Txn.t) x =
+  Accumulator.invoke_increment det acc ~txn:(Txn.id txn) x;
+  Txn.push_undo txn (fun () -> Accumulator.increment acc (-x));
+  []
+
+let test_all_commute () =
+  (* increments all commute: one round at P >= n, zero aborts *)
+  let acc = Accumulator.create () in
+  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let items = List.init 10 (fun i -> i + 1) in
+  let s = Executor.run_rounds ~processors:16 ~detector:det ~operator:(acc_operator acc det) items in
+  check_int "one round" 1 s.Executor.rounds;
+  check_int "no aborts" 0 s.Executor.aborted;
+  check_int "all committed" 10 s.Executor.committed;
+  check_int "total" 55 (Accumulator.read acc)
+
+let test_serialized_by_global_lock () =
+  let acc = Accumulator.create () in
+  let det = Detector.global_lock () in
+  let items = List.init 10 (fun i -> i + 1) in
+  let s = Executor.run_rounds ~processors:4 ~detector:det ~operator:(acc_operator acc det) items in
+  (* each round admits exactly the first txn; the other three abort *)
+  check_int "10 rounds" 10 s.Executor.rounds;
+  check_bool "aborts happened" true (s.Executor.aborted > 0);
+  check_int "total correct despite aborts" 55 (Accumulator.read acc)
+
+let test_first_in_round_commits () =
+  (* progress guarantee: with the retry-at-front policy the executor always
+     terminates even under a global lock at high processor counts *)
+  let acc = Accumulator.create () in
+  let det = Detector.global_lock () in
+  let items = List.init 50 (fun i -> i) in
+  let s =
+    Executor.run_rounds ~processors:max_int ~detector:det
+      ~operator:(acc_operator acc det) items
+  in
+  check_int "50 rounds (1 commit each)" 50 s.Executor.rounds
+
+let test_new_work () =
+  (* operator spawns a child item until a depth limit: work counted *)
+  let det = Detector.none in
+  let s =
+    Executor.run_rounds ~processors:2 ~detector:det
+      ~operator:(fun _txn d -> if d > 0 then [ d - 1 ] else [])
+      [ 3; 3 ]
+  in
+  check_int "committed = all spawned" 8 s.Executor.committed
+
+let test_cost_accounting () =
+  let det = Detector.none in
+  let s =
+    Executor.run_rounds ~processors:2 ~cost:(fun x -> float_of_int x) ~detector:det
+      ~operator:(fun _ _ -> [])
+      [ 1; 5; 2; 2 ]
+  in
+  (* rounds: [1;5] [2;2]; makespan = 5 + 2 *)
+  check_int "rounds" 2 s.Executor.rounds;
+  Alcotest.(check (float 1e-9)) "makespan" 7.0 s.Executor.makespan;
+  Alcotest.(check (float 1e-9)) "total work" 10.0 s.Executor.total_work
+
+let test_rollback_on_abort () =
+  (* aborted txn's increment must be rolled back exactly once *)
+  let acc = Accumulator.create () in
+  let det = Detector.global_lock () in
+  let items = [ 1; 2; 3; 4 ] in
+  ignore (Executor.run_rounds ~processors:4 ~detector:det ~operator:(acc_operator acc det) items);
+  check_int "sum exact" 10 (Accumulator.read acc)
+
+(* ------------------------------------------------------------- *)
+(* ParaMeter profile                                              *)
+(* ------------------------------------------------------------- *)
+
+let test_parameter_independent () =
+  let acc = Accumulator.create () in
+  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let p =
+    Parameter.profile ~detector:det ~operator:(acc_operator acc det)
+      (List.init 64 (fun i -> i))
+  in
+  check_int "critical path 1" 1 p.Parameter.critical_path;
+  Alcotest.(check (float 1e-9)) "parallelism 64" 64.0 p.Parameter.parallelism
+
+let test_parameter_serial () =
+  let acc = Accumulator.create () in
+  let det = Detector.global_lock () in
+  let p =
+    Parameter.profile ~detector:det ~operator:(acc_operator acc det)
+      (List.init 16 (fun i -> i))
+  in
+  check_int "critical path = n" 16 p.Parameter.critical_path;
+  Alcotest.(check (float 1e-9)) "parallelism 1" 1.0 p.Parameter.parallelism
+
+(* ------------------------------------------------------------- *)
+(* Domain-based executor                                          *)
+(* ------------------------------------------------------------- *)
+
+let test_domains_accumulator () =
+  let acc = Accumulator.create () in
+  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let items = List.init 100 (fun i -> i + 1) in
+  let s =
+    Executor.run_domains ~domains:3 ~detector:det
+      ~operator:(fun det txn x ->
+        Accumulator.invoke_increment det acc ~txn:(Txn.id txn) x;
+        Txn.push_undo txn (fun () -> Accumulator.increment acc (-x));
+        [])
+      items
+  in
+  check_int "all committed" 100 s.Executor.committed;
+  check_int "sum" 5050 (Accumulator.read acc)
+
+let test_domains_set_gatekeeper () =
+  let set = Iset.create () in
+  let det, _ = Gatekeeper.forward ~hooks:(Iset.hooks set) (Iset.precise_spec ()) in
+  let items = List.init 200 (fun i -> i mod 20) in
+  let s =
+    Executor.run_domains ~domains:3 ~detector:det
+      ~operator:(fun det txn v ->
+        let exec name (inv : Invocation.t) = Iset.exec set name inv.Invocation.args in
+        ignore
+          (Boost.invoke det txn ~undo:(Iset.undo set) Iset.m_add
+             [| Value.Int v |] (exec "add"));
+        [])
+      items
+  in
+  check_int "all eventually committed" 200 s.Executor.committed;
+  check_int "20 distinct elements" 20 (Iset.cardinal set)
+
+let test_domains_boruvka () =
+  (* end-to-end concurrency check: MST on real domains with the general
+     gatekeeper *)
+  let open Commlat_apps in
+  let mesh = Mesh.generate ~rows:6 ~cols:6 () in
+  let t = Boruvka.create ~mesh () in
+  let det, _ =
+    Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ())
+  in
+  let s =
+    Executor.run_domains ~domains:2
+      ~detector:(Boruvka.full_detector t det)
+      ~operator:(fun _wrapped txn item -> Boruvka.operator t det txn item)
+      (List.init mesh.Mesh.nodes Fun.id)
+  in
+  ignore s;
+  Alcotest.(check int)
+    "mst weight matches kruskal"
+    (Reference.mst_weight ~n:mesh.Mesh.nodes mesh.Mesh.edges)
+    (Boruvka.mst_weight t.Boruvka.mst)
+
+let suite =
+  [
+    Alcotest.test_case "independent txns: one round" `Quick test_all_commute;
+    Alcotest.test_case "global lock serializes" `Quick test_serialized_by_global_lock;
+    Alcotest.test_case "progress under max parallelism" `Quick
+      test_first_in_round_commits;
+    Alcotest.test_case "operator-generated work" `Quick test_new_work;
+    Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
+    Alcotest.test_case "rollback on abort" `Quick test_rollback_on_abort;
+    Alcotest.test_case "ParaMeter: independent work" `Quick test_parameter_independent;
+    Alcotest.test_case "ParaMeter: serialized work" `Quick test_parameter_serial;
+    Alcotest.test_case "domains: accumulator" `Quick test_domains_accumulator;
+    Alcotest.test_case "domains: set gatekeeper" `Quick test_domains_set_gatekeeper;
+    Alcotest.test_case "domains: boruvka" `Quick test_domains_boruvka;
+  ]

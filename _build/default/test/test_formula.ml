@@ -1,0 +1,175 @@
+(* Tests for the L1/L2/L3 formula machinery: evaluation, classification,
+   mirroring, simplification, primitive-function extraction. *)
+
+open Commlat_core
+open Formula
+
+(* A simple fixed environment: m1 = f(10, 20)/true, m2 = g(10)/false, with
+   one state function "sq" squaring its argument, tagged by state. *)
+let env0 =
+  Formula.env
+    ~sfun:(fun name state args _t ->
+      match (name, state, args) with
+      | "sq", S1, [ Value.Int x ] -> Value.Int (x * x)
+      | "sq", S2, [ Value.Int x ] -> Value.Int (x * x * 10)
+      | _ -> raise (Unsupported name))
+    ~vfun:(fun name args ->
+      match (name, args) with
+      | "sum", [ Value.Int a; Value.Int b ] -> Value.Int (a + b)
+      | _ -> raise (Unsupported name))
+    ~arg:(fun side i ->
+      match (side, i) with
+      | M1, 0 -> Value.Int 10
+      | M1, 1 -> Value.Int 20
+      | M2, 0 -> Value.Int 10
+      | _ -> Value.type_error "bad arg")
+    ~ret:(function M1 -> Value.Bool true | M2 -> Value.Bool false)
+    ()
+
+let check_bool = Alcotest.(check bool)
+
+let test_eval_terms () =
+  check_bool "arg equality" true (eval env0 (eq (arg1 0) (arg2 0)));
+  check_bool "arg inequality" true (eval env0 (ne (arg1 1) (arg2 0)));
+  check_bool "ret" true (eval env0 (eq ret1 (cbool true)));
+  check_bool "arith" true
+    (eval env0 (eq (Arith (Add, arg1 0, arg1 1)) (cint 30)));
+  check_bool "vfun" true (eval env0 (eq (vfun "sum" [ arg1 0; arg1 1 ]) (cint 30)));
+  check_bool "sfun s1" true (eval env0 (eq (sfun "sq" S1 [ arg1 0 ]) (cint 100)));
+  check_bool "sfun s2" true (eval env0 (eq (sfun "sq" S2 [ arg1 0 ]) (cint 1000)));
+  check_bool "lt" true (eval env0 (lt (arg1 0) (arg1 1)));
+  check_bool "connectives" true
+    (eval env0 (Not (And (True, Or (False, Not True)))))
+
+let test_division () =
+  check_bool "int div" true (eval env0 (eq (Arith (Div, cint 7, cint 2)) (cint 3)));
+  Alcotest.check_raises "div by zero" (Unsupported "division by zero") (fun () ->
+      ignore (eval env0 (eq (Arith (Div, cint 7, cint 0)) (cint 0))))
+
+(* ---- classification ---- *)
+
+let test_classify () =
+  let simple = And (ne (arg1 0) (arg2 0), ne (Ret M1) (arg2 1)) in
+  check_bool "simple" true (is_simple simple);
+  check_bool "false is simple" true (is_simple False);
+  check_bool "true is simple" true (is_simple True);
+  (* an equality (not disequality) is not a SIMPLE clause *)
+  check_bool "eq not simple" false (is_simple (eq (arg1 0) (arg2 0)));
+  (* disjunction is not SIMPLE but is online-checkable when state-free *)
+  let f = Or (ne (arg1 0) (arg2 0), eq ret1 (cbool false)) in
+  check_bool "or not simple" false (is_simple f);
+  check_bool "or online" true (is_online f);
+  Alcotest.check Alcotest.string "classify or" "ONLINE-CHECKABLE"
+    (Fmt.str "%a" pp_cls (classify f));
+  (* s1-function of m1-only values: online *)
+  let f1 = ne (sfun "loser" S1 [ arg1 0; arg1 1 ]) (arg2 0) in
+  check_bool "f1 online" true (is_online f1);
+  (* s1-function of an m2 value: general *)
+  let fgen = ne (sfun "rep" S1 [ arg2 0 ]) (sfun "loser" S1 [ arg1 0; arg1 1 ]) in
+  check_bool "general not online" false (is_online fgen);
+  check_bool "general classify" true (classify fgen = General);
+  (* s2-functions may use anything *)
+  let f2 = eq (sfun "rep" S2 [ arg1 0 ]) (sfun "rep" S2 [ arg2 0 ]) in
+  check_bool "s2 online" true (is_online f2);
+  (* partition-derived clauses are SIMPLE *)
+  let fp = ne (vfun "part" [ arg1 0 ]) (vfun "part" [ arg2 0 ]) in
+  check_bool "partition simple" true (is_simple fp)
+
+let test_example_spec_classes () =
+  let open Commlat_adts in
+  check_bool "set precise online" true
+    (Spec.classify (Iset.precise_spec ()) = Online);
+  check_bool "set fig3 simple" true (Spec.classify (Iset.simple_spec ()) = Simple);
+  check_bool "set exclusive simple" true
+    (Spec.classify (Iset.exclusive_spec ()) = Simple);
+  check_bool "set partitioned simple" true
+    (Spec.classify (Iset.partitioned_spec ~nparts:8 ()) = Simple);
+  check_bool "accumulator simple" true (Spec.classify (Accumulator.spec ()) = Simple);
+  check_bool "kdtree online" true (Spec.classify (Kdtree.spec ()) = Online);
+  check_bool "kdtree not simple" false (Spec.classify (Kdtree.spec ()) = Simple);
+  check_bool "union-find general" true (Spec.classify (Union_find.spec ()) = General);
+  check_bool "flow rw simple" true (Spec.classify (Flow_graph.spec_rw ()) = Simple);
+  check_bool "flow ex simple" true
+    (Spec.classify (Flow_graph.spec_exclusive ()) = Simple);
+  check_bool "flow part simple" true
+    (Spec.classify (Flow_graph.spec_partitioned ~nparts:32 ()) = Simple)
+
+(* ---- mirror ---- *)
+
+let test_mirror () =
+  let f = Or (ne (arg1 0) (arg2 0), eq ret1 (cbool false)) in
+  let m = mirror f in
+  check_bool "mirror shape" true
+    (Formula.equal m (Or (ne (arg2 0) (arg1 0), eq ret2 (cbool false))));
+  check_bool "mirror involution" true (Formula.equal (mirror m) f);
+  Alcotest.check_raises "mirror rejects state"
+    (Invalid_argument "Formula.mirror: state-dependent formula") (fun () ->
+      ignore (mirror (ne (sfun "rep" S1 [ arg1 0 ]) (arg2 0))))
+
+(* ---- extraction ---- *)
+
+let test_extraction () =
+  (* union-find condition (1) *)
+  let cond1 =
+    And
+      ( ne (sfun "rep" S1 [ arg2 0 ]) (sfun "loser" S1 [ arg1 0; arg1 1 ]),
+        ne (sfun "rep" S1 [ arg2 1 ]) (sfun "loser" S1 [ arg1 0; arg1 1 ]) )
+  in
+  let f1s = f1_functions cond1 in
+  check_bool "loser is loggable" true
+    (List.exists (fun (n, _, _) -> n = "loser") f1s);
+  check_bool "rep(s1, m2-arg) not loggable" false
+    (List.exists (fun (n, _, _) -> n = "rep") f1s);
+  let rb = rollback_functions cond1 in
+  check_bool "rep needs rollback" true (List.exists (fun (n, _, _) -> n = "rep") rb);
+  check_bool "loser no rollback" false
+    (List.exists (fun (n, _, _) -> n = "loser") rb)
+
+(* ---- simplify preserves semantics ---- *)
+
+(* random state-free formulas over the env above *)
+let gen_formula : Formula.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let term =
+    oneofl [ arg1 0; arg1 1; arg2 0; ret1; ret2; cint 10; cint 20; cbool true ]
+  in
+  let atom =
+    oneof
+      [
+        return True;
+        return False;
+        map2 (fun a b -> eq a b) term term;
+        map2 (fun a b -> ne a b) term term;
+      ]
+  in
+  let rec form n =
+    if n = 0 then atom
+    else
+      frequency
+        [
+          (2, atom);
+          (1, map2 (fun a b -> And (a, b)) (form (n - 1)) (form (n - 1)));
+          (1, map2 (fun a b -> Or (a, b)) (form (n - 1)) (form (n - 1)));
+          (1, map (fun a -> Not a) (form (n - 1)));
+        ]
+  in
+  QCheck.make ~print:Formula.to_string (form 3)
+
+let suite =
+  [
+    Alcotest.test_case "eval terms" `Quick test_eval_terms;
+    Alcotest.test_case "division" `Quick test_division;
+    Alcotest.test_case "classification" `Quick test_classify;
+    Alcotest.test_case "example spec classes" `Quick test_example_spec_classes;
+    Alcotest.test_case "mirror" `Quick test_mirror;
+    Alcotest.test_case "C_m extraction" `Quick test_extraction;
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"simplify preserves evaluation" ~count:300
+         gen_formula (fun f -> eval env0 (simplify f) = eval env0 f));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mirror twice is identity (state-free)" ~count:300
+         gen_formula (fun f -> Formula.equal (mirror (mirror f)) f));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"well_formed on generated formulas" ~count:300
+         gen_formula well_formed);
+  ]

@@ -1,0 +1,118 @@
+(* Tests for the commutativity lattice: lattice laws via bounded semantic
+   equivalence, syntactic-implication soundness, and the orderings the
+   paper claims between its example specifications. *)
+
+open Commlat_core
+open Formula
+
+(* Sample environments: all combinations of small values for the two
+   invocations' argument and return slots. *)
+let sample_envs =
+  let vals = [ Value.Int 0; Value.Int 1; Value.Bool true; Value.Bool false ] in
+  List.concat_map
+    (fun a1 ->
+      List.concat_map
+        (fun a2 ->
+          List.concat_map
+            (fun r1 ->
+              List.map
+                (fun r2 ->
+                  Formula.env
+                    ~vfun:(fun name args ->
+                      match (name, args) with
+                      | "part", [ v ] -> Value.Int (Value.hash v mod 2)
+                      | _ -> raise (Unsupported name))
+                    ~arg:(fun side _ -> match side with M1 -> a1 | M2 -> a2)
+                    ~ret:(function M1 -> r1 | M2 -> r2)
+                    ())
+                vals)
+            vals)
+        vals)
+    vals
+
+let gen_formula = Test_formula.gen_formula
+
+let leq = Lattice.leq_bounded ~envs:sample_envs
+let equiv = Lattice.equiv_bounded ~envs:sample_envs
+
+let check_bool = Alcotest.(check bool)
+
+let test_syntactic_sound =
+  QCheck.Test.make ~name:"leq_syntactic implies semantic leq" ~count:500
+    (QCheck.pair gen_formula gen_formula) (fun (f1, f2) ->
+      (not (Lattice.leq_syntactic f1 f2)) || leq f1 f2)
+
+let test_meet_lower =
+  QCheck.Test.make ~name:"meet is a lower bound" ~count:300
+    (QCheck.pair gen_formula gen_formula) (fun (f1, f2) ->
+      let m = Lattice.meet f1 f2 in
+      leq m f1 && leq m f2)
+
+let test_join_upper =
+  QCheck.Test.make ~name:"join is an upper bound" ~count:300
+    (QCheck.pair gen_formula gen_formula) (fun (f1, f2) ->
+      let j = Lattice.join f1 f2 in
+      leq f1 j && leq f2 j)
+
+let test_meet_idempotent =
+  QCheck.Test.make ~name:"meet idempotent (semantically)" ~count:200 gen_formula
+    (fun f -> equiv (Lattice.meet f f) f)
+
+let test_absorption =
+  QCheck.Test.make ~name:"absorption: f meet (f join g) ~ f" ~count:200
+    (QCheck.pair gen_formula gen_formula) (fun (f, g) ->
+      equiv (Lattice.meet f (Lattice.join f g)) f)
+
+let test_bot_least =
+  QCheck.Test.make ~name:"false is least" ~count:200 gen_formula (fun f ->
+      leq Lattice.bot f)
+
+(* The lattice relations between the paper's set specifications:
+   bot <= partitioned <= exclusive <= fig3 <= fig2(precise). *)
+let test_set_spec_chain () =
+  let open Commlat_adts in
+  let precise = Iset.precise_spec () in
+  let fig3 = Iset.simple_spec () in
+  let excl = Iset.exclusive_spec () in
+  let part = Iset.partitioned_spec ~nparts:4 () in
+  let bot = Lattice.spec_bot ~adt:"set" Iset.methods in
+  check_bool "bot <= part" true (Lattice.spec_leq bot part);
+  check_bool "part <= excl" true (Lattice.spec_leq part excl);
+  check_bool "excl <= fig3" true (Lattice.spec_leq excl fig3);
+  check_bool "fig3 <= precise" true (Lattice.spec_leq fig3 precise);
+  check_bool "precise </= fig3" false (Lattice.spec_leq precise fig3);
+  check_bool "fig3 </= excl" false (Lattice.spec_leq fig3 excl);
+  (* meet/join of specs *)
+  let m = Lattice.spec_meet fig3 precise in
+  check_bool "meet of comparable = lower" true
+    (Lattice.spec_leq m fig3 && Lattice.spec_leq fig3 m);
+  let j = Lattice.spec_join fig3 precise in
+  check_bool "join of comparable >= upper" true (Lattice.spec_leq precise j)
+
+(* partition clause semantically implies the element clause *)
+let test_partition_implication () =
+  let f_elem = ne (arg1 0) (arg2 0) in
+  let f_part = ne (vfun "part" [ arg1 0 ]) (vfun "part" [ arg2 0 ]) in
+  check_bool "part(a)!=part(b) => a!=b" true (leq f_part f_elem);
+  check_bool "a!=b =/=> part(a)!=part(b)" false (leq f_elem f_part)
+
+(* flow-graph chain used by preflow-push *)
+let test_flow_spec_chain () =
+  let open Commlat_adts in
+  let rw = Flow_graph.spec_rw () in
+  let ex = Flow_graph.spec_exclusive () in
+  check_bool "ex <= rw" true (Lattice.spec_leq ex rw);
+  check_bool "rw </= ex" false (Lattice.spec_leq rw ex)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest test_syntactic_sound;
+    QCheck_alcotest.to_alcotest test_meet_lower;
+    QCheck_alcotest.to_alcotest test_join_upper;
+    QCheck_alcotest.to_alcotest test_meet_idempotent;
+    QCheck_alcotest.to_alcotest test_absorption;
+    QCheck_alcotest.to_alcotest test_bot_least;
+    Alcotest.test_case "set spec chain" `Quick test_set_spec_chain;
+    Alcotest.test_case "partition implication" `Quick test_partition_implication;
+    Alcotest.test_case "flow spec chain" `Quick test_flow_spec_chain;
+  ]

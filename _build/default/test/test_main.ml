@@ -1,0 +1,24 @@
+(* Aggregated test runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "commlat"
+    [
+      ("value", Test_value.suite);
+      ("formula", Test_formula.suite);
+      ("lattice", Test_lattice.suite);
+      ("spec", Test_spec.suite);
+      ("spec-lang", Test_spec_lang.suite);
+      ("strengthen", Test_strengthen.suite);
+      ("history", Test_history.suite);
+      ("abstract-lock", Test_abstract_lock.suite);
+      ("gatekeeper", Test_gatekeeper.suite);
+      ("general-gatekeeper", Test_general_gatekeeper.suite);
+      ("executor", Test_executor.suite);
+      ("runtime", Test_runtime.suite);
+      ("stm", Test_stm.suite);
+      ("adts", Test_adts.suite);
+      ("versioned-uf", Test_versioned_uf.suite);
+      ("kvmap", Test_kvmap.suite);
+      ("apps", Test_apps.suite);
+      ("adaptive", Test_adaptive.suite);
+    ]

@@ -1,0 +1,84 @@
+(* Tests for Spec: symmetric registration, defaults, orientation handling,
+   validation. *)
+
+open Commlat_core
+open Formula
+
+let check_bool = Alcotest.(check bool)
+
+let meths =
+  [ Invocation.meth "m" 1; Invocation.meth ~mutates:false "r" 1; Invocation.meth "k" 2 ]
+
+let test_default_false () =
+  let s = Spec.create ~adt:"t" meths in
+  check_bool "missing pair defaults to false" true
+    (Formula.equal (Spec.cond s ~first:"m" ~second:"r") False)
+
+let test_add_sym_mirror () =
+  let s = Spec.create ~adt:"t" meths in
+  (* condition referencing both sides asymmetrically *)
+  Spec.add_sym s "m" "r" (Or (ne (arg1 0) (arg2 0), eq ret1 (cbool false)));
+  let f_mr = Spec.cond s ~first:"m" ~second:"r" in
+  let f_rm = Spec.cond s ~first:"r" ~second:"m" in
+  check_bool "mirrored orientation registered" true
+    (Formula.equal f_rm (Or (ne (arg2 0) (arg1 0), eq ret2 (cbool false))));
+  check_bool "orientations differ syntactically" false (Formula.equal f_mr f_rm)
+
+let test_add_sym_rejects_state () =
+  let s = Spec.create ~adt:"t" meths in
+  Alcotest.check_raises "state-dependent sym"
+    (Invalid_argument "Spec.add_sym: state-dependent formula; use add_directed")
+    (fun () -> Spec.add_sym s "m" "r" (ne (sfun "f" S1 [ arg1 0 ]) (arg2 0)))
+
+let test_unknown_method () =
+  let s = Spec.create ~adt:"t" meths in
+  Alcotest.check_raises "unknown method"
+    (Invalid_argument "Spec: unknown method nope on t") (fun () ->
+      Spec.add_directed s ~first:"nope" ~second:"m" True)
+
+let test_validate_total () =
+  let s = Spec.create ~adt:"t" [ Invocation.meth "m" 1 ] in
+  Alcotest.check_raises "missing pair"
+    (Invalid_argument "Spec t: missing condition for (m,m)") (fun () ->
+      Spec.validate ~require_total:true s);
+  Spec.add_sym s "m" "m" True;
+  Spec.validate ~require_total:true s
+
+let test_vfun_lookup () =
+  let s =
+    Spec.create ~vfuns:[ ("double", function [ Value.Int x ] -> Value.Int (2 * x) | _ -> assert false) ]
+      ~adt:"t" meths
+  in
+  Alcotest.(check int) "vfun" 10 (Value.to_int (Spec.vfun s "double" [ Value.Int 5 ]));
+  Alcotest.check_raises "unknown vfun" (Formula.Unsupported "vfun nope") (fun () ->
+      ignore (Spec.vfun s "nope" []))
+
+(* The full specs of all example ADTs are total in both orientations over
+   their declared methods. *)
+let test_examples_total () =
+  let open Commlat_adts in
+  List.iter
+    (fun spec -> Spec.validate ~require_total:true spec)
+    [
+      Iset.precise_spec ();
+      Iset.simple_spec ();
+      Iset.exclusive_spec ();
+      Iset.partitioned_spec ~nparts:4 ();
+      Accumulator.spec ();
+      Kdtree.spec ();
+      Union_find.spec ();
+      Flow_graph.spec_rw ();
+      Flow_graph.spec_exclusive ();
+      Flow_graph.spec_partitioned ~nparts:8 ();
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "default false" `Quick test_default_false;
+    Alcotest.test_case "add_sym mirrors" `Quick test_add_sym_mirror;
+    Alcotest.test_case "add_sym rejects state" `Quick test_add_sym_rejects_state;
+    Alcotest.test_case "unknown method" `Quick test_unknown_method;
+    Alcotest.test_case "validate totality" `Quick test_validate_total;
+    Alcotest.test_case "vfun lookup" `Quick test_vfun_lookup;
+    Alcotest.test_case "example specs are total" `Quick test_examples_total;
+  ]

@@ -1,0 +1,201 @@
+(* Tests of the textual specification language: parsing, error reporting,
+   agreement with the built-in specs, and print/parse round-trips. *)
+
+open Commlat_core
+open Commlat_adts
+
+let check_bool = Alcotest.(check bool)
+
+let specs_dir =
+  (* tests run from the dune sandbox; locate the example specs relative to
+     the workspace root *)
+  let rec find dir n =
+    if n = 0 then None
+    else if Sys.file_exists (Filename.concat dir "examples/specs/set.spec") then Some dir
+    else find (Filename.concat dir "..") (n - 1)
+  in
+  find "." 6
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- formulas ---- *)
+
+let roundtrip f =
+  let printed = Formula.to_string f in
+  match Spec_lang.parse_formula_string printed with
+  | g -> Formula.equal f g
+  | exception Spec_lang.Parse_error (pos, msg) ->
+      Fmt.epr "cannot re-parse %S: %a@." printed Spec_lang.pp_error (pos, msg);
+      false
+
+let test_formula_roundtrip_builtin () =
+  (* every condition of every built-in spec round-trips through pp/parse *)
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun ((m1, m2), f) ->
+          check_bool (Fmt.str "%s/%s: %a" m1 m2 Formula.pp f) true (roundtrip f))
+        (Spec.pairs spec))
+    [
+      Iset.precise_spec ();
+      Iset.simple_spec ();
+      Iset.exclusive_spec ();
+      Kdtree.spec ();
+      Union_find.spec ();
+      Accumulator.spec ();
+      Flow_graph.spec_rw ();
+      Flow_graph.spec_exclusive ();
+      Kvmap.precise_spec ();
+      Kvmap.simple_spec ();
+    ]
+
+let test_formula_roundtrip_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random formulas round-trip through print/parse"
+       ~count:500 Test_formula.gen_formula roundtrip)
+
+let test_parse_basics () =
+  let f = Spec_lang.parse_formula_string "v1[0] != v2[0] \\/ (r1 = false /\\ r2 = false)" in
+  check_bool "fig2 add/add" true
+    (Formula.equal f
+       Formula.(
+         Or (ne (arg1 0) (arg2 0), And (eq ret1 (cbool false), eq ret2 (cbool false)))));
+  let g = Spec_lang.parse_formula_string "dist(v1[0], v2[0]) > dist(v1[0], r1)" in
+  check_bool "vfun comparison" true
+    (Formula.equal g
+       Formula.(gt (vfun "dist" [ arg1 0; arg2 0 ]) (vfun "dist" [ arg1 0; ret1 ])));
+  let h = Spec_lang.parse_formula_string "rep(s1, v2[0]) != loser(s1, v1[0], v1[1])" in
+  check_bool "sfun" true
+    (Formula.equal h
+       Formula.(ne (sfun "rep" S1 [ arg2 0 ]) (sfun "loser" S1 [ arg1 0; arg1 1 ])));
+  let k = Spec_lang.parse_formula_string "v1[0] + 2 * 3 = 7" in
+  check_bool "precedence: * binds tighter" true
+    (Formula.equal k
+       Formula.(
+         eq
+           (Arith (Add, arg1 0, Arith (Mul, cint 2, cint 3)))
+           (cint 7)))
+
+(* substring containment, avoiding extra dependencies *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_parse_errors () =
+  let fails src frag =
+    match Spec_lang.parse_formula_string src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Spec_lang.Parse_error (_, msg) ->
+        check_bool
+          (Fmt.str "error for %S mentions %S (got %S)" src frag msg)
+          true (contains msg frag)
+  in
+  fails "v1[" "expected";
+  fails "v3[0] = v2[0]" "unknown variable";
+  fails "v1[0] =" "expected a term";
+  fails "v1[0] != v2[0] trailing" "trailing"
+
+let test_spec_files () =
+  match specs_dir with
+  | None -> Alcotest.skip ()
+  | Some dir ->
+      let parse name = Spec_lang.parse (read (Filename.concat dir ("examples/specs/" ^ name))) in
+      (* Fig. 2 file = built-in precise spec, condition for condition *)
+      let file_set = parse "set.spec" in
+      let builtin = Iset.precise_spec () in
+      List.iter
+        (fun ((m1, m2), f) ->
+          check_bool
+            (Fmt.str "set.spec (%s,%s)" m1 m2)
+            true
+            (Formula.equal f (Spec.cond builtin ~first:m1 ~second:m2)))
+        (Spec.pairs file_set);
+      check_bool "set.spec classifies ONLINE" true
+        (Spec.classify file_set = Formula.Online);
+      check_bool "set_rw.spec is SIMPLE" true
+        (Spec.classify (parse "set_rw.spec") = Formula.Simple);
+      check_bool "accumulator.spec is SIMPLE" true
+        (Spec.classify (parse "accumulator.spec") = Formula.Simple);
+      check_bool "kdtree.spec is ONLINE" true
+        (Spec.classify (parse "kdtree.spec") = Formula.Online);
+      check_bool "union_find.spec is GENERAL" true
+        (Spec.classify (parse "union_find.spec") = Formula.General);
+      (* the kvmap file agrees with the built-in precise spec *)
+      (let file_kv = parse "kvmap.spec" in
+       let builtin_kv = Kvmap.precise_spec () in
+       List.iter
+         (fun ((m1, m2), f) ->
+           check_bool
+             (Fmt.str "kvmap.spec (%s,%s)" m1 m2)
+             true
+             (Formula.equal f (Spec.cond builtin_kv ~first:m1 ~second:m2)))
+         (Spec.pairs file_kv));
+      (* the union-find file agrees with the built-in Fig. 5 *)
+      let file_uf = parse "union_find.spec" in
+      let builtin_uf = Union_find.spec () in
+      List.iter
+        (fun ((m1, m2), f) ->
+          check_bool
+            (Fmt.str "union_find.spec (%s,%s)" m1 m2)
+            true
+            (Formula.equal f (Spec.cond builtin_uf ~first:m1 ~second:m2)))
+        (Spec.pairs file_uf)
+
+let test_spec_roundtrip () =
+  (* print a built-in spec in the textual form and re-parse: all conditions
+     must survive *)
+  List.iter
+    (fun spec ->
+      let printed = Spec_lang.spec_to_string spec in
+      let reparsed =
+        try Spec_lang.parse printed
+        with Spec_lang.Parse_error (pos, msg) ->
+          Alcotest.failf "re-parse of %s failed: %a@.%s" (Spec.adt spec)
+            Spec_lang.pp_error (pos, msg) printed
+      in
+      List.iter
+        (fun ((m1, m2), f) ->
+          check_bool
+            (Fmt.str "%s (%s,%s)" (Spec.adt spec) m1 m2)
+            true
+            (Formula.equal f (Spec.cond reparsed ~first:m1 ~second:m2)))
+        (Spec.pairs spec))
+    [
+      Iset.precise_spec ();
+      Iset.simple_spec ();
+      Union_find.spec ();
+      Kdtree.spec ();
+      Accumulator.spec ();
+      Flow_graph.spec_rw ();
+      Kvmap.precise_spec ();
+    ]
+
+let test_spec_structure_errors () =
+  let fails src frag =
+    match Spec_lang.parse src with
+    | _ -> Alcotest.failf "expected parse error"
+    | exception Spec_lang.Parse_error (_, msg) ->
+        check_bool (Fmt.str "mentions %S in %S" frag msg) true (contains msg frag)
+  in
+  fails "spec t methods m/1\nq ; m commute always" "unknown method";
+  fails "spec t methods m/1\nm ; m commute if v1[3] != v2[0]" "out of range";
+  fails "spec t methods m/1\nm ; m commute if rep(s1, v2[0]) != r1"
+    "state-dependent";
+  fails "spec t" "expected 'methods'"
+
+let suite =
+  [
+    Alcotest.test_case "built-in conditions round-trip" `Quick
+      test_formula_roundtrip_builtin;
+    test_formula_roundtrip_random;
+    Alcotest.test_case "parse basics" `Quick test_parse_basics;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "example spec files" `Quick test_spec_files;
+    Alcotest.test_case "spec print/parse round-trip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "spec structure errors" `Quick test_spec_structure_errors;
+  ]

@@ -1,0 +1,93 @@
+(* Tests for the disciplined strengthening transforms of paper §4. *)
+
+open Commlat_core
+open Commlat_adts
+open Formula
+
+let check_bool = Alcotest.(check bool)
+
+(* Dropping the return-value disjuncts from Fig. 2 must yield exactly the
+   Fig. 3 specification — the paper's worked example of moving down the
+   lattice. *)
+let test_simple_core_fig2_to_fig3 () =
+  let derived = Strengthen.simple_spec ~adt:"set-rw" (Iset.precise_spec ()) in
+  let fig3 = Iset.simple_spec () in
+  List.iter
+    (fun ((m1, m2), f) ->
+      let g = Spec.cond derived ~first:m1 ~second:m2 in
+      check_bool (Fmt.str "(%s,%s) matches Fig.3" m1 m2) true (Formula.equal f g))
+    (Spec.pairs fig3)
+
+let test_simple_core_formula () =
+  let f = Or (ne (arg1 0) (arg2 0), eq ret1 (cbool false)) in
+  check_bool "keeps the SIMPLE disjunct" true
+    (Formula.equal (Strengthen.simple_core f) (ne (arg1 0) (arg2 0)));
+  check_bool "non-simple residue becomes false" true
+    (Formula.equal (Strengthen.simple_core (eq ret1 (cbool false))) False);
+  check_bool "already simple unchanged" true
+    (Formula.equal (Strengthen.simple_core True) True)
+
+let test_strengthenings_are_strengthenings () =
+  let precise = Iset.precise_spec () in
+  let fig3 = Iset.simple_spec () in
+  let excl = Iset.exclusive_spec () in
+  let part = Iset.partitioned_spec ~nparts:4 () in
+  check_bool "fig3 strengthens precise" true
+    (Strengthen.check_strengthening ~stronger:fig3 ~weaker:precise);
+  check_bool "excl strengthens fig3" true
+    (Strengthen.check_strengthening ~stronger:excl ~weaker:fig3);
+  check_bool "part strengthens excl" true
+    (Strengthen.check_strengthening ~stronger:part ~weaker:excl);
+  check_bool "precise does not strengthen fig3" false
+    (Strengthen.check_strengthening ~stronger:precise ~weaker:fig3)
+
+let test_partitioned_classifies_simple () =
+  let part = Iset.partitioned_spec ~nparts:4 () in
+  check_bool "partitioned spec is SIMPLE" true (Spec.classify part = Simple);
+  (* its conditions really use the part vfun *)
+  let f = Spec.cond part ~first:"add" ~second:"add" in
+  let has_part =
+    match f with
+    | Cmp (Ne, Vfun ("part", _), Vfun ("part", _)) -> true
+    | _ -> false
+  in
+  check_bool "clauses coarsened" true has_part
+
+let test_force_false () =
+  let s = Strengthen.force_false (Iset.simple_spec ()) [ ("add", "add") ] in
+  check_bool "forced pair" true
+    (Formula.equal (Spec.cond s ~first:"add" ~second:"add") False);
+  check_bool "other pairs kept" true
+    (Formula.equal
+       (Spec.cond s ~first:"add" ~second:"remove")
+       (ne (arg1 0) (arg2 0)));
+  check_bool "still a strengthening" true
+    (Strengthen.check_strengthening ~stronger:s ~weaker:(Iset.simple_spec ()))
+
+(* The flow-graph [ex] variant is exactly [rw] with reader/reader sharing
+   removed. *)
+let test_flow_ex_vs_rw () =
+  let rw = Flow_graph.spec_rw () and ex = Flow_graph.spec_exclusive () in
+  check_bool "ex <= rw" true (Strengthen.check_strengthening ~stronger:ex ~weaker:rw);
+  List.iter
+    (fun ((m1, m2), f_rw) ->
+      let f_ex = Spec.cond ex ~first:m1 ~second:m2 in
+      let both_reads =
+        List.mem m1 [ "get_neighbors"; "height" ] && List.mem m2 [ "get_neighbors"; "height" ]
+      in
+      if not both_reads then
+        check_bool (Fmt.str "(%s,%s) unchanged" m1 m2) true (Formula.equal f_rw f_ex))
+    (Spec.pairs rw)
+
+let suite =
+  [
+    Alcotest.test_case "Fig.2 -> Fig.3 via simple_core" `Quick
+      test_simple_core_fig2_to_fig3;
+    Alcotest.test_case "simple_core on formulas" `Quick test_simple_core_formula;
+    Alcotest.test_case "strengthening chains verified" `Quick
+      test_strengthenings_are_strengthenings;
+    Alcotest.test_case "partitioned spec is SIMPLE with part clauses" `Quick
+      test_partitioned_classifies_simple;
+    Alcotest.test_case "force_false" `Quick test_force_false;
+    Alcotest.test_case "flow ex vs rw" `Quick test_flow_ex_vs_rw;
+  ]

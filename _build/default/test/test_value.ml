@@ -1,0 +1,85 @@
+(* Tests for Commlat_core.Value: equality/ordering/hash laws and
+   projections. *)
+
+open Commlat_core
+
+let gen_value : Value.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [
+        return Value.Unit;
+        map Value.bool bool;
+        map Value.int small_signed_int;
+        map Value.float (float_bound_inclusive 100.0);
+        map Value.str (string_size ~gen:printable (int_bound 6));
+        map (fun l -> Value.Point (Array.of_list l)) (list_size (int_bound 3) (float_bound_inclusive 10.0));
+      ]
+  in
+  let rec value n =
+    if n = 0 then base
+    else
+      frequency
+        [
+          (3, base);
+          (1, map2 Value.pair (value (n - 1)) (value (n - 1)));
+          (1, map Value.opt (opt (value (n - 1))));
+          (1, map Value.list (list_size (int_bound 3) (value (n - 1))));
+        ]
+  in
+  QCheck.make ~print:Value.to_string (value 2)
+
+let prop _label t = QCheck_alcotest.to_alcotest t
+
+let check_bool = Alcotest.(check bool)
+
+let test_projections () =
+  check_bool "to_bool" true (Value.to_bool (Value.Bool true));
+  Alcotest.(check int) "to_int" 42 (Value.to_int (Value.Int 42));
+  Alcotest.(check (float 1e-9)) "to_float int" 3.0 (Value.to_float (Value.Int 3));
+  Alcotest.check_raises "to_int of bool"
+    (Value.Type_error "expected int, got true") (fun () ->
+      ignore (Value.to_int (Value.Bool true)))
+
+let test_equal_basic () =
+  check_bool "int eq" true (Value.equal (Value.Int 3) (Value.Int 3));
+  check_bool "int ne" false (Value.equal (Value.Int 3) (Value.Int 4));
+  check_bool "point eq" true
+    (Value.equal (Value.Point [| 1.0; 2.0 |]) (Value.Point [| 1.0; 2.0 |]));
+  check_bool "point ne len" false
+    (Value.equal (Value.Point [| 1.0 |]) (Value.Point [| 1.0; 2.0 |]));
+  check_bool "nan eq nan" true
+    (Value.equal (Value.Float Float.nan) (Value.Float Float.nan));
+  check_bool "cross type" false (Value.equal (Value.Int 1) (Value.Bool true))
+
+let test_tbl () =
+  let tbl = Value.Tbl.create 8 in
+  Value.Tbl.replace tbl (Value.pair (Value.int 1) (Value.str "x")) 10;
+  Alcotest.(check (option int))
+    "tbl find" (Some 10)
+    (Value.Tbl.find_opt tbl (Value.pair (Value.int 1) (Value.str "x")))
+
+let suite =
+  [
+    Alcotest.test_case "projections" `Quick test_projections;
+    Alcotest.test_case "equal basic" `Quick test_equal_basic;
+    Alcotest.test_case "hashtbl structural" `Quick test_tbl;
+    prop "equal refl"
+      (QCheck.Test.make ~name:"equal is reflexive" ~count:200 gen_value (fun v ->
+           Value.equal v v));
+    prop "compare refl"
+      (QCheck.Test.make ~name:"compare v v = 0" ~count:200 gen_value (fun v ->
+           Value.compare v v = 0));
+    prop "hash consistent"
+      (QCheck.Test.make ~name:"equal implies same hash" ~count:200
+         (QCheck.pair gen_value gen_value) (fun (a, b) ->
+           (not (Value.equal a b)) || Value.hash a = Value.hash b));
+    prop "compare antisym"
+      (QCheck.Test.make ~name:"compare antisymmetric" ~count:200
+         (QCheck.pair gen_value gen_value) (fun (a, b) ->
+           Int.compare (Value.compare a b) 0 = -Int.compare (Value.compare b a) 0));
+    prop "compare/equal agree"
+      (QCheck.Test.make ~name:"compare = 0 iff equal" ~count:200
+         (QCheck.pair gen_value gen_value) (fun (a, b) ->
+           Value.equal a b = (Value.compare a b = 0)));
+  ]

@@ -4,17 +4,30 @@
      commlat classify FILE        classification + per-condition breakdown
      commlat matrix FILE          synthesized abstract-lock matrix (SIMPLE)
      commlat check FILE           parse + well-formedness + totality report
+     commlat lint FILE...         static analysis: bounded soundness vs the
+                                  reference ADT semantics, structural lints,
+                                  strengthening-chain validation (--chain)
      commlat order FILE1 FILE2    lattice comparison of two specs
-     commlat print FILE           canonical re-print (round-trips) *)
+     commlat print FILE           canonical re-print (round-trips)
+
+   Exit codes: 0 success; 1 analysis errors (lint) or domain failures;
+   2 unreadable/unparsable input (with a positioned error message). *)
 
 open Commlat_core
+open Commlat_analysis
 open Cmdliner
 
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | src -> src
+  | exception Sys_error msg ->
+      Fmt.epr "%s: cannot read: %s@." path msg;
+      exit 2
 
 let load path =
   match Spec_lang.parse (read_file path) with
@@ -84,7 +97,11 @@ let matrix_cmd =
 let check_cmd =
   let run path =
     let spec = load path in
-    Spec.validate spec;
+    (match Spec.validate spec with
+    | () -> ()
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s: %s@." path msg;
+        exit 2);
     let methods = Spec.methods spec in
     let missing = ref [] in
     List.iter
@@ -116,6 +133,82 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Parse and report on a specification.")
     Term.(const run $ spec_file_arg ())
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let run paths format chain max_cx =
+    (* load everything first: any unreadable/unparsable input is a
+       positioned error and exit 2, matching the other subcommands *)
+    let sources, parse_errors =
+      List.fold_left
+        (fun (ok, errs) path ->
+          match Lint.load_file path with
+          | Ok src -> (src :: ok, errs)
+          | Error d -> (ok, d :: errs))
+        ([], []) paths
+    in
+    let sources = List.rev sources and parse_errors = List.rev parse_errors in
+    let diags =
+      List.concat_map (Lint.analyze ~max_counterexamples:max_cx) sources
+      @ (if chain then Lint.analyze_chain sources else [])
+      @ parse_errors
+    in
+    let diags = Diagnostic.sort diags in
+    (match format with
+    | `Json -> Fmt.pr "%s@." (Diagnostic.list_to_json diags)
+    | `Text ->
+        List.iter (fun d -> Fmt.pr "@[<v>%a@]@." Diagnostic.pp d) diags;
+        let e, w, i = Diagnostic.count diags in
+        Fmt.pr "%d file%s checked: %d error%s, %d warning%s, %d note%s@."
+          (List.length paths)
+          (if List.length paths = 1 then "" else "s")
+          e
+          (if e = 1 then "" else "s")
+          w
+          (if w = 1 then "" else "s")
+          i
+          (if i = 1 then "" else "s"));
+    if parse_errors <> [] then exit 2
+    else if Lint.has_errors diags then exit 1
+    else exit 0
+  in
+  let paths =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"SPEC" ~doc:"Specification files to analyse.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format"; "f" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) or $(b,json) (machine-readable, for CI).")
+  in
+  let chain =
+    Arg.(
+      value & flag
+      & info [ "chain" ]
+          ~doc:
+            "Treat the files as a strengthening chain (weakest first) and \
+             verify each step descends the commutativity lattice.")
+  in
+  let max_cx =
+    Arg.(
+      value & opt int 3
+      & info [ "max-counterexamples" ] ~docv:"N"
+          ~doc:"Counterexample traces retained per method pair.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse specifications: bounded soundness/completeness \
+          against the registered reference ADT semantics, structural lints \
+          (dead disjuncts, misclassification, asymmetric coverage, \
+          superfluous lock modes), and strengthening-chain validation. Exits \
+          1 if any error-severity diagnostic is reported, 2 on unparsable \
+          input.")
+    Term.(const run $ paths $ format $ chain $ max_cx)
 
 (* ---- order ---- *)
 
@@ -156,4 +249,7 @@ let () =
     Cmd.info "commlat" ~version:"1.0.0"
       ~doc:"Work with commutativity specifications (PLDI 2011 lattice framework)."
   in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; matrix_cmd; check_cmd; order_cmd; print_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ classify_cmd; matrix_cmd; check_cmd; lint_cmd; order_cmd; print_cmd ]))

@@ -1,0 +1,92 @@
+(** Strengthening-chain validation: given an ordered list of specifications
+    (weakest first, e.g. [set.spec] → [set_rw.spec] → an exclusive
+    variant), verify that every step actually {e descends} the
+    commutativity lattice — each successive spec's condition implies its
+    predecessor's, pointwise over every ordered method pair (paper §2.4,
+    §4: only then is a detector sound for the stronger spec also sound for
+    the weaker one).
+
+    Each step is checked pair by pair: the cheap syntactic implication
+    first ({!Lattice.leq_syntactic}); where that is inconclusive, the
+    bounded semantic check over exhaustive small environments.  A bounded
+    refutation is a hard error ([chain-broken]); a step provable only
+    boundedly is reported as info; a step with no evidence either way (all
+    environments raised, e.g. state-dependent conditions) is a warning. *)
+
+open Commlat_core
+
+type step_source = { label : string; spec : Spec.t }
+
+let pair_keys s1 s2 =
+  List.sort_uniq Stdlib.compare (List.map fst (Spec.pairs s1) @ List.map fst (Spec.pairs s2))
+
+let validate_step ~envs (upper : step_source) (lower : step_source) :
+    Diagnostic.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let upper_methods =
+    List.map (fun (m : Invocation.meth) -> m.Invocation.name) (Spec.methods upper.spec)
+  in
+  let lower_methods =
+    List.map (fun (m : Invocation.meth) -> m.Invocation.name) (Spec.methods lower.spec)
+  in
+  if List.sort compare upper_methods <> List.sort compare lower_methods then
+    add
+      (Diagnostic.make ~file:lower.label ~spec:(Spec.adt lower.spec)
+         ~sev:Diagnostic.Warning ~code:"chain-methods"
+         "method sets differ between %s and %s — the lattice order is only \
+          defined for specifications of the same ADT"
+         upper.label lower.label);
+  List.iter
+    (fun (m1, m2) ->
+      let fu = Spec.cond upper.spec ~first:m1 ~second:m2 in
+      let fl = Spec.cond lower.spec ~first:m1 ~second:m2 in
+      if Lattice.leq_syntactic fl fu then ()
+      else
+        match Lattice.leq_bounded_checked ~envs fl fu with
+        | Some true ->
+            add
+              (Diagnostic.make ~file:lower.label ~pair:(m1, m2)
+                 ~spec:(Spec.adt lower.spec) ~sev:Diagnostic.Info
+                 ~code:"chain-bounded"
+                 "step %s -> %s verified only by the bounded check for this \
+                  pair (%a => %a holds on all sampled environments)"
+                 upper.label lower.label Formula.pp fl Formula.pp fu)
+        | Some false ->
+            add
+              (Diagnostic.make ~file:lower.label ~pair:(m1, m2)
+                 ~spec:(Spec.adt lower.spec) ~sev:Diagnostic.Error
+                 ~code:"chain-broken"
+                 "step %s -> %s does not descend the lattice: %a does not \
+                  imply %a — a detector for %s is not sound for %s"
+                 upper.label lower.label Formula.pp fl Formula.pp fu
+                 (Spec.adt lower.spec) (Spec.adt upper.spec))
+        | None ->
+            add
+              (Diagnostic.make ~file:lower.label ~pair:(m1, m2)
+                 ~spec:(Spec.adt lower.spec) ~sev:Diagnostic.Warning
+                 ~code:"chain-unverified"
+                 "step %s -> %s could not be verified for this pair (no \
+                  sample environment evaluates %a => %a)"
+                 upper.label lower.label Formula.pp fl Formula.pp fu))
+    (pair_keys upper.spec lower.spec);
+  (* a descent that is also an ascent is an equivalence, worth knowing *)
+  if
+    !diags = []
+    && Lattice.spec_leq upper.spec lower.spec
+    && Lattice.spec_leq lower.spec upper.spec
+  then
+    add
+      (Diagnostic.make ~file:lower.label ~spec:(Spec.adt lower.spec)
+         ~sev:Diagnostic.Info ~code:"chain-equal"
+         "step %s -> %s is an equivalence, not a strict descent" upper.label
+         lower.label);
+  List.rev !diags
+
+(** Validate a whole chain, weakest specification first. *)
+let validate ~envs (chain : step_source list) : Diagnostic.t list =
+  let rec go = function
+    | a :: (b :: _ as rest) -> validate_step ~envs a b @ go rest
+    | _ -> []
+  in
+  go chain

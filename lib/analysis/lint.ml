@@ -1,0 +1,164 @@
+(** The [commlat lint] driver: run every analysis over a specification and
+    collect diagnostics.
+
+    Three layers compose (each usable on its own from tests):
+
+    - {!Structural.lint} — formula-level smells (dead disjuncts,
+      misclassification, unit-return references, asymmetric coverage,
+      superfluous lock modes);
+    - {!Soundness.check_spec} — bounded verification against the registered
+      reference semantics ({!Domain}): unsound conditions are errors with
+      a concrete counterexample trace, incompleteness is reported as the
+      spec's position in the commutativity lattice (info);
+    - {!Chain.validate} — strengthening-chain descent across several
+      specifications. *)
+
+open Commlat_core
+
+(** A specification together with its provenance (file path and rule
+    positions when parsed from a [.spec] file). *)
+type source = {
+  src_file : string option;
+  src_spec : Spec.t;
+  src_rules : Spec_lang.rule_info list;
+}
+
+let of_spec spec = { src_file = None; src_spec = spec; src_rules = [] }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Load a [.spec] file; a parse failure (or unreadable file) comes back as
+    a positioned error diagnostic rather than an exception. *)
+let load_file path : (source, Diagnostic.t) result =
+  match read_file path with
+  | exception Sys_error msg ->
+      Error
+        (Diagnostic.make ~file:path ~spec:"-" ~sev:Diagnostic.Error ~code:"io"
+           "cannot read specification: %s" msg)
+  | src -> (
+      match Spec_lang.parse_with_rules src with
+      | spec, rules -> Ok { src_file = Some path; src_spec = spec; src_rules = rules }
+      | exception Spec_lang.Parse_error (pos, msg) ->
+          Error
+            (Diagnostic.make ~file:path ~pos ~spec:"-" ~sev:Diagnostic.Error
+               ~code:"parse" "%s" msg))
+
+(* ---- soundness reports -> diagnostics ---- *)
+
+let soundness_diagnostics ?file ~rules (spec : Spec.t)
+    (reports : Soundness.pair_report list) : Diagnostic.t list =
+  List.concat_map
+    (fun (r : Soundness.pair_report) ->
+      let m1, m2 = r.Soundness.pr_pair in
+      let pos = Spec_lang.rule_pos rules ~first:m1 ~second:m2 in
+      let mk sev code fmt =
+        Diagnostic.make ?file ?pos ~pair:(m1, m2) ~spec:(Spec.adt spec) ~sev ~code fmt
+      in
+      let unsound =
+        (* keyed on the total, not the retained traces: the finding must
+           survive --max-counterexamples 0 *)
+        if r.Soundness.pr_unsound_total = 0 then []
+        else
+          let trace =
+            match r.Soundness.pr_unsound with
+            | cx :: _ -> "; " ^ Soundness.counterexample_to_string cx
+            | [] -> " (re-run with --max-counterexamples > 0 for a trace)"
+          in
+          [
+            mk Diagnostic.Error "unsound"
+              "condition admits %d observationally distinguishable \
+               interleaving%s%s"
+              r.Soundness.pr_unsound_total
+              (if r.Soundness.pr_unsound_total = 1 then "" else "s")
+              trace;
+          ]
+      in
+      let incomplete =
+        if r.Soundness.pr_incomplete > 0 && r.Soundness.pr_unsound_total = 0 then
+          [
+            mk Diagnostic.Info "incomplete"
+              "lattice position: condition rejects %d of %d observably \
+               commuting scenario%s — the spec sits strictly below the \
+               precise condition for this pair (sound; less parallelism, \
+               paper \xc2\xa74)"
+              r.Soundness.pr_incomplete r.Soundness.pr_commuting
+              (if r.Soundness.pr_commuting = 1 then "" else "s")
+          ]
+        else []
+      in
+      let skipped =
+        if r.Soundness.pr_skipped > 0 && r.Soundness.pr_scenarios = 0 then
+          [
+            mk Diagnostic.Warning "uncheckable"
+              "no scenario could evaluate this condition against the \
+               reference model (%d attempted)"
+              r.Soundness.pr_skipped;
+          ]
+        else []
+      in
+      let uncovered =
+        if r.Soundness.pr_scenarios = 0 && r.Soundness.pr_skipped = 0 then
+          [
+            mk Diagnostic.Warning "no-scenarios"
+              "the reference model generates no scenarios for this pair (are \
+               both methods known to the registered domain?)";
+          ]
+        else []
+      in
+      unsound @ incomplete @ skipped @ uncovered)
+    reports
+
+(** Lint one specification: structural lints always; bounded soundness when
+    a reference domain is registered for the spec's ADT name (otherwise an
+    info note). *)
+let analyze ?max_counterexamples (src : source) : Diagnostic.t list =
+  let spec = src.src_spec in
+  let domain = Domain.find (Spec.adt spec) in
+  let envs = Domain.sample_envs ?domain spec in
+  let structural =
+    Structural.lint ?file:src.src_file ~rules:src.src_rules ?domain ~envs spec
+  in
+  let sound =
+    match domain with
+    | None ->
+        [
+          Diagnostic.make ?file:src.src_file ~spec:(Spec.adt spec)
+            ~sev:Diagnostic.Info ~code:"no-reference-model"
+            "no reference model registered for ADT %S — bounded soundness \
+             check skipped (structural lints only)"
+            (Spec.adt spec);
+        ]
+    | Some dom ->
+        soundness_diagnostics ?file:src.src_file ~rules:src.src_rules spec
+          (Soundness.check_spec ?max_counterexamples dom spec)
+  in
+  Diagnostic.sort (structural @ sound)
+
+(** Programmatic entry point used by the test-suite: lint an in-memory
+    specification. *)
+let analyze_spec ?max_counterexamples spec =
+  analyze ?max_counterexamples (of_spec spec)
+
+(** Validate a strengthening chain of sources, weakest first. *)
+let analyze_chain (srcs : source list) : Diagnostic.t list =
+  let steps =
+    List.map
+      (fun s ->
+        {
+          Chain.label = Option.value ~default:(Spec.adt s.src_spec) s.src_file;
+          spec = s.src_spec;
+        })
+      srcs
+  in
+  let envs =
+    match srcs with
+    | s :: _ -> Domain.sample_envs ?domain:(Domain.find (Spec.adt s.src_spec)) s.src_spec
+    | [] -> []
+  in
+  Diagnostic.sort (Chain.validate ~envs steps)
+
+let has_errors = List.exists Diagnostic.is_error

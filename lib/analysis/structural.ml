@@ -1,0 +1,198 @@
+(** Structural lints over commutativity specifications: spec smells that
+    need no reference execution, only the formulas themselves (plus, for
+    the return-value lint, one sample invocation per method).
+
+    The catalogue (diagnostic codes in brackets):
+
+    - [dead-disjunct] — a top-level disjunct implied by a sibling disjunct
+      (checked with {!Lattice.leq_bounded_checked} over exhaustive small
+      environments): dropping it leaves the condition semantically
+      unchanged, so it is noise — or a sign the author meant something
+      else.
+    - [misclassification] — a condition whose syntactic class (L1/L3) is
+      higher than its semantic content: it is boundedly equivalent to its
+      SIMPLE core, or constant folding alone lowers its class.  A cheaper
+      detector scheme applies (paper §3.4's hierarchy).
+    - [unit-return] — the condition mentions [r1]/[r2] of a method that
+      returns no value (every sampled invocation returns [unit]): the
+      comparison is degenerate and always compares [unit] to something.
+    - [asymmetric-coverage] — a [directed] rule whose mirrored orientation
+      has no rule at all, so the mirror silently defaults to "never
+      commute"; state-dependent specs must spell out both orientations
+      (paper Fig. 5 does).
+    - [superfluous-mode] — for SIMPLE specs, lock modes of the synthesized
+      abstract-locking scheme that are compatible with every mode and are
+      re-derivable as droppable by {!Abstract_lock.reduce} (the paper's
+      Fig. 8(a) → 8(b) optimization). *)
+
+open Commlat_core
+
+let cls_rank = function
+  | Formula.Simple -> 0
+  | Formula.Online -> 1
+  | Formula.General -> 2
+
+let diag ?file ~rules ~spec ~pair:(m1, m2) sev code fmt =
+  let pos = Spec_lang.rule_pos rules ~first:m1 ~second:m2 in
+  Diagnostic.make ?file ?pos ~pair:(m1, m2) ~spec:(Spec.adt spec) ~sev ~code fmt
+
+(* ---- dead / redundant disjuncts ---- *)
+
+let dead_disjuncts ?file ~rules ~envs (spec : Spec.t) ((m1, m2), f) =
+  let ds = Formula.disjuncts f in
+  if List.length ds < 2 then []
+  else
+    let implied i di =
+      (* a disjunct is dead if some sibling subsumes it; among mutually
+         equivalent disjuncts only the later ones are flagged *)
+      List.exists
+        (fun (j, dj) ->
+          j <> i
+          && Formula.is_state_free di && Formula.is_state_free dj
+          && Lattice.leq_bounded_checked ~envs di dj = Some true
+          && (j < i || Lattice.leq_bounded_checked ~envs dj di <> Some true))
+        (List.mapi (fun j d -> (j, d)) ds)
+    in
+    List.concat
+      (List.mapi
+         (fun i di ->
+           if implied i di then
+             [
+               diag ?file ~rules ~spec ~pair:(m1, m2) Diagnostic.Warning
+                 "dead-disjunct"
+                 "disjunct %a is implied by a sibling disjunct (bounded check) \
+                  — dropping it leaves the condition unchanged"
+                 Formula.pp di;
+             ]
+           else [])
+         ds)
+
+(* ---- misclassification ---- *)
+
+let misclassification ?file ~rules ~envs (spec : Spec.t) ((m1, m2), f) =
+  let cls = Formula.classify f in
+  if cls = Formula.Simple then []
+  else
+    let core = Strengthen.simple_core f in
+    if
+      core <> Formula.False
+      && Lattice.equiv_bounded_checked ~envs core f = Some true
+    then
+      [
+        diag ?file ~rules ~spec ~pair:(m1, m2) Diagnostic.Warning "misclassification"
+          "condition is written in %a form but is boundedly equivalent to its \
+           SIMPLE core %a — the cheaper abstract-locking detector applies"
+          Formula.pp_cls cls Formula.pp core;
+      ]
+    else
+      let folded = Formula.simplify f in
+      if cls_rank (Formula.classify folded) < cls_rank cls then
+        [
+          diag ?file ~rules ~spec ~pair:(m1, m2) Diagnostic.Warning
+            "misclassification"
+            "condition simplifies to %a, which is %a rather than %a — a \
+             cheaper detector applies"
+            Formula.pp folded Formula.pp_cls
+            (Formula.classify folded)
+            Formula.pp_cls cls;
+        ]
+      else []
+
+(* ---- return-value references on void methods ---- *)
+
+(** Sample each method once against the reference implementation to learn
+    whether it returns a value; [None] when execution fails or no domain
+    covers the method. *)
+let returns_unit (dom : Domain.t) =
+  let cache = Hashtbl.create 8 in
+  fun name ->
+    match Hashtbl.find_opt cache name with
+    | Some r -> r
+    | None ->
+        let r =
+          match dom.Domain.args_of name with
+          | [] -> None
+          | args :: _ -> (
+              match
+                let inst = dom.Domain.fresh () in
+                inst.Domain.apply name args
+              with
+              | v -> Some (Value.equal v Value.Unit)
+              | exception _ -> None)
+        in
+        Hashtbl.add cache name r;
+        r
+
+let unit_returns ?file ~rules ~domain (spec : Spec.t) ((m1, m2), f) =
+  match domain with
+  | None -> []
+  | Some dom ->
+      let unit_of = returns_unit dom in
+      let check side meth_name =
+        if Formula.mentions_ret side f && unit_of meth_name = Some true then
+          [
+            diag ?file ~rules ~spec ~pair:(m1, m2) Diagnostic.Warning "unit-return"
+              "condition references %s, but %s returns no value — the \
+               comparison always sees unit"
+              (match side with Formula.M1 -> "r1" | Formula.M2 -> "r2")
+              meth_name;
+          ]
+        else []
+      in
+      check Formula.M1 m1 @ check Formula.M2 m2
+
+(* ---- asymmetric coverage ---- *)
+
+let asymmetric_coverage ?file ~rules (spec : Spec.t) ((m1, m2), _f) =
+  if m1 = m2 then []
+  else
+    let pairs = Spec.pairs spec in
+    if List.mem_assoc (m2, m1) pairs then []
+    else
+      [
+        diag ?file ~rules ~spec ~pair:(m1, m2) Diagnostic.Warning
+          "asymmetric-coverage"
+          "the mirrored pair (%s ; %s) has no rule and defaults to 'never' — \
+           state-dependent conditions must spell out both orientations"
+          m2 m1;
+      ]
+
+(* ---- superfluous lock modes (SIMPLE specs only) ---- *)
+
+let superfluous_modes ?file (spec : Spec.t) =
+  if Spec.classify spec <> Formula.Simple then []
+  else
+    match Abstract_lock.construct spec with
+    | exception _ -> []
+    | scheme ->
+        let superfluous =
+          List.filter
+            (fun i -> Array.for_all Fun.id scheme.Abstract_lock.compat.(i))
+            (List.init (Abstract_lock.n_modes scheme) Fun.id)
+        in
+        if superfluous = [] then []
+        else
+          [
+            Diagnostic.make ?file ~spec:(Spec.adt spec) ~sev:Diagnostic.Warning
+              ~code:"superfluous-mode"
+              "the synthesized locking scheme has %d superfluous mode%s \
+               (compatible with every mode): %s — `commlat matrix --reduce` \
+               drops them (Fig. 8a->8b)"
+              (List.length superfluous)
+              (if List.length superfluous = 1 then "" else "s")
+              (String.concat ", "
+                 (List.map (Abstract_lock.mode_name scheme) superfluous));
+          ]
+
+(** All structural lints for one specification. *)
+let lint ?file ?(rules = []) ?domain ~envs (spec : Spec.t) : Diagnostic.t list =
+  let per_pair =
+    List.concat_map
+      (fun entry ->
+        dead_disjuncts ?file ~rules ~envs spec entry
+        @ misclassification ?file ~rules ~envs spec entry
+        @ unit_returns ?file ~rules ~domain spec entry
+        @ asymmetric_coverage ?file ~rules spec entry)
+      (Spec.pairs spec)
+  in
+  per_pair @ superfluous_modes ?file spec

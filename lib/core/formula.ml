@@ -154,6 +154,21 @@ let mentions_side side f =
   in
   go f
 
+let mentions_ret side f =
+  let rec go = function
+    | True | False -> false
+    | Cmp (_, a, b) -> term_mentions_ret side a || term_mentions_ret side b
+    | Not f -> go f
+    | And (a, b) | Or (a, b) -> go a || go b
+  in
+  go f
+
+(** Top-level disjuncts, left to right ([disjuncts (a \/ (b \/ c)) =
+    [a; b; c]]); a non-disjunction is its own single disjunct. *)
+let rec disjuncts = function
+  | Or (a, b) -> disjuncts a @ disjuncts b
+  | f -> [ f ]
+
 (** Well-formedness: arguments of [Sfun] and [Vfun] must be state-free
     (matching the grammars of L1/L3, where function arguments are plain
     values). *)

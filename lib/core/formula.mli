@@ -86,6 +86,14 @@ val all_sfuns : t -> (string * state * term list * term) list
 
 val mentions_side : side -> t -> bool
 
+(** Does the formula mention the return value of the given side ([r1]/[r2]),
+    including inside function arguments? *)
+val mentions_ret : side -> t -> bool
+
+(** Top-level disjuncts, left to right; a non-disjunction is its own single
+    disjunct ([disjuncts f = [f]]). *)
+val disjuncts : t -> t list
+
 (** Arguments of [Sfun]/[Vfun] must be state-free, matching the grammars of
     L1/L3 where function arguments are plain values. *)
 val well_formed : t -> bool

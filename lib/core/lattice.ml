@@ -63,6 +63,34 @@ let leq_bounded ~envs f1 f2 =
 
 let equiv_bounded ~envs f1 f2 = leq_bounded ~envs f1 f2 && leq_bounded ~envs f2 f1
 
+(** Like {!leq_bounded}, but distinguishes "implication held on every
+    environment that evaluated" from "no environment evaluated at all"
+    (e.g. every sample raised on an uninterpreted function).  [None] means
+    the check produced no evidence either way — callers that act on a
+    positive answer (the spec linter's dead-disjunct and misclassification
+    analyses) must not treat vacuity as confirmation. *)
+let leq_bounded_checked ~envs f1 f2 =
+  let evaluated = ref false in
+  let ok =
+    List.for_all
+      (fun env ->
+        match (Formula.eval env f1, Formula.eval env f2) with
+        | v1, v2 ->
+            evaluated := true;
+            (not v1) || v2
+        | exception (Formula.Unsupported _ | Value.Type_error _) -> true)
+      envs
+  in
+  (* if [for_all] stopped early the failing environment did evaluate, so
+     [evaluated] is reliable in both outcomes *)
+  if !evaluated then Some ok else None
+
+let equiv_bounded_checked ~envs f1 f2 =
+  match (leq_bounded_checked ~envs f1 f2, leq_bounded_checked ~envs f2 f1) with
+  | Some false, _ | _, Some false -> Some false
+  | Some true, Some true -> Some true
+  | _ -> None
+
 (* --------------------------------------------------------------- *)
 (* Specification-level lattice                                      *)
 (* --------------------------------------------------------------- *)

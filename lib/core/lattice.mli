@@ -33,6 +33,16 @@ val leq_bounded : envs:Formula.env list -> Formula.t -> Formula.t -> bool
 
 val equiv_bounded : envs:Formula.env list -> Formula.t -> Formula.t -> bool
 
+(** Like {!leq_bounded} but [None] when no environment evaluated (every
+    sample raised), so vacuous truth is distinguishable from evidence.
+    Used by the spec linter, where a vacuously-true implication must not
+    justify dropping a disjunct. *)
+val leq_bounded_checked :
+  envs:Formula.env list -> Formula.t -> Formula.t -> bool option
+
+val equiv_bounded_checked :
+  envs:Formula.env list -> Formula.t -> Formula.t -> bool option
+
 (** {1 Specification-level lattice} *)
 
 (** Pointwise order via {!leq_syntactic} (missing entries are [false]). *)

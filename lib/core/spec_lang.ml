@@ -434,16 +434,42 @@ let parse_rule s : rule =
   in
   { m1; m2; cond; directed; rule_pos }
 
-(** Parse a full specification.  [vfuns] supplies interpretations for the
-    pure value functions the formulas mention (needed to {e run} detectors
-    built from the spec; classification and lock synthesis work without
-    them). *)
-let parse ?(vfuns = []) (src : string) : Spec.t =
+(** Source record of one rule of a parsed specification: the declared
+    method pair, whether it was [directed], and the position of the rule's
+    first token.  A rule without [directed] registers both orientations, so
+    one [rule_info] covers the pair (first, second) {e and} its mirror. *)
+type rule_info = {
+  r_first : string;
+  r_second : string;
+  r_directed : bool;
+  r_pos : pos;
+}
+
+(** Position of the rule covering the ordered pair ([first], [second]),
+    if any: a [directed] rule matches exactly, an undirected one in either
+    orientation. *)
+let rule_pos (rules : rule_info list) ~first ~second =
+  List.find_map
+    (fun r ->
+      if
+        (r.r_first = first && r.r_second = second)
+        || ((not r.r_directed) && r.r_first = second && r.r_second = first)
+      then Some r.r_pos
+      else None)
+    rules
+
+(** Parse a full specification, also returning the source record of every
+    rule (used by the [commlat lint] analysis pass to attach positions to
+    its diagnostics).  [vfuns] supplies interpretations for the pure value
+    functions the formulas mention (needed to {e run} detectors built from
+    the spec; classification and lock synthesis work without them). *)
+let parse_with_rules ?(vfuns = []) (src : string) : Spec.t * rule_info list =
   let s = { toks = tokenize src } in
   expect s (IDENT "spec") "'spec'";
   let adt = expect_ident s "specification name" in
   let methods = parse_methods s in
   let spec = Spec.create ~vfuns ~adt methods in
+  let infos = ref [] in
   let has m = List.exists (fun (x : Invocation.meth) -> x.name = m) methods in
   let rec rules () =
     match peek s with
@@ -487,10 +513,15 @@ let parse ?(vfuns = []) (src : string) : Spec.t =
              parse_error r.rule_pos
                "state-dependent condition: add 'directed' and give both \
                 orientations explicitly");
+        infos :=
+          { r_first = r.m1; r_second = r.m2; r_directed = r.directed; r_pos = r.rule_pos }
+          :: !infos;
         rules ()
   in
   rules ();
-  spec
+  (spec, List.rev !infos)
+
+let parse ?vfuns (src : string) : Spec.t = fst (parse_with_rules ?vfuns src)
 
 (** Parse just a formula (the syntax accepted after [commute if]). *)
 let parse_formula_string (src : string) : Formula.t =

@@ -26,6 +26,28 @@ val pp_error : (pos * string) Fmt.t
     malformed formulas with line/column positions. *)
 val parse : ?vfuns:(string * (Value.t list -> Value.t)) list -> string -> Spec.t
 
+(** Source record of one rule: the declared method pair, whether it was
+    [directed], and the position of the rule's first token.  A rule without
+    [directed] registers both orientations, so one [rule_info] covers the
+    ordered pair {e and} its mirror. *)
+type rule_info = {
+  r_first : string;
+  r_second : string;
+  r_directed : bool;
+  r_pos : pos;
+}
+
+(** Like {!parse}, additionally returning the source record of every rule —
+    the [commlat lint] analysis pass uses these to position its
+    diagnostics. *)
+val parse_with_rules :
+  ?vfuns:(string * (Value.t list -> Value.t)) list -> string -> Spec.t * rule_info list
+
+(** Position of the rule covering the ordered pair ([first], [second]), if
+    any; a [directed] rule matches exactly, an undirected one in either
+    orientation. *)
+val rule_pos : rule_info list -> first:string -> second:string -> pos option
+
 (** Parse just a formula (the syntax accepted after [commute if]). *)
 val parse_formula_string : string -> Formula.t
 

@@ -8,6 +8,7 @@ let () =
       ("lattice", Test_lattice.suite);
       ("spec", Test_spec.suite);
       ("spec-lang", Test_spec_lang.suite);
+      ("analysis", Test_analysis.suite);
       ("strengthen", Test_strengthen.suite);
       ("history", Test_history.suite);
       ("abstract-lock", Test_abstract_lock.suite);

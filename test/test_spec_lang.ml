@@ -100,6 +100,48 @@ let test_parse_errors () =
   fails "v1[0] =" "expected a term";
   fails "v1[0] != v2[0] trailing" "trailing"
 
+let test_parse_error_positions () =
+  (* parse errors carry exact line/column so editors and `commlat lint`
+     can point at the offending token *)
+  let fails_at src line col =
+    match Spec_lang.parse src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Spec_lang.Parse_error (pos, _) ->
+        Alcotest.(check (pair int int))
+          (Fmt.str "position for %S" src)
+          (line, col)
+          (pos.Spec_lang.line, pos.Spec_lang.col)
+  in
+  (* unknown method: error is on the rule line, at the rule start *)
+  fails_at "spec t\nmethods m/1 mut\nq ; m commute always" 3 1;
+  (* bad operator mid-condition: column points into the formula *)
+  fails_at "spec t\nmethods m/1 mut\nm ; m commute if v1[0] !! v2[0]" 3 24;
+  (* unterminated condition: truncated at end of the formula text *)
+  fails_at "spec t\nmethods m/1 mut\nm ; m commute if v1[0] =" 3 25;
+  (* header errors point just past the truncated header *)
+  fails_at "spec t" 1 7;
+  (* blank/comment lines do not shift reported line numbers *)
+  fails_at "# leading comment\n\nspec t\nmethods m/1 mut\n\nq ; m commute always"
+    6 1
+
+let test_parse_with_rules_positions () =
+  let src =
+    "spec t\nmethods a/1 mut, b/1\n\n\
+     a ; a commute always\n\
+     a ; b commute if v1[0] != v2[0] directed\n"
+  in
+  let _spec, rules = Spec_lang.parse_with_rules src in
+  let pos ~first ~second =
+    match Spec_lang.rule_pos rules ~first ~second with
+    | Some p -> (p.Spec_lang.line, p.Spec_lang.col)
+    | None -> Alcotest.failf "no recorded position for (%s, %s)" first second
+  in
+  Alcotest.(check (pair int int)) "a;a rule line" (4, 1) (pos ~first:"a" ~second:"a");
+  Alcotest.(check (pair int int)) "a;b rule line" (5, 1) (pos ~first:"a" ~second:"b");
+  (* the directed rule registers only its own orientation *)
+  check_bool "no mirrored position for a directed rule" true
+    (Spec_lang.rule_pos rules ~first:"b" ~second:"a" = None)
+
 let test_spec_files () =
   match specs_dir with
   | None -> Alcotest.skip ()
@@ -195,6 +237,8 @@ let suite =
     test_formula_roundtrip_random;
     Alcotest.test_case "parse basics" `Quick test_parse_basics;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse error positions" `Quick test_parse_error_positions;
+    Alcotest.test_case "rule positions" `Quick test_parse_with_rules_positions;
     Alcotest.test_case "example spec files" `Quick test_spec_files;
     Alcotest.test_case "spec print/parse round-trip" `Quick test_spec_roundtrip;
     Alcotest.test_case "spec structure errors" `Quick test_spec_structure_errors;

@@ -15,6 +15,8 @@ open Commlat_core
 open Commlat_adts
 open Commlat_runtime
 open Commlat_apps
+module Obs = Commlat_obs.Obs
+module Jsonx = Commlat_obs.Jsonx
 
 let pf = Format.printf
 
@@ -69,6 +71,19 @@ let header title =
   pf "%s@." title;
   pf "============================================================@."
 
+(* Machine-readable output (--json FILE): every row of a table/figure is an
+   object carrying the paper metrics plus the conflict detector's own
+   observability snapshot under "obs", wrapped in a schema-stamped document
+   that `commlat stats --validate` checks in CI. *)
+let json_doc ~experiment ~full rows =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str "commlat-bench/1");
+      ("experiment", Jsonx.Str experiment);
+      ("scale", Jsonx.Str (if full then "full" else "default"));
+      ("rows", Jsonx.List rows);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Application plumbing                                                *)
 (* ------------------------------------------------------------------ *)
@@ -99,11 +114,15 @@ let preflow_input scale = Genrmf.generate ~a:scale.genrmf_a ~b:scale.genrmf_b ()
 
 let preflow_run ?(processors = 4) inp variant_det =
   let p = Preflow_push.of_genrmf inp in
-  Preflow_push.run ~processors ~detector:(variant_det p) p
+  let det = variant_det p in
+  let flow, stats = Preflow_push.run ~processors ~detector:det p in
+  (flow, stats, det.Detector.snapshot ())
 
 let preflow_profile inp variant_det =
   let p = Preflow_push.of_genrmf inp in
-  Preflow_push.profile ~detector:(variant_det p) p
+  let det = variant_det p in
+  let prof = Preflow_push.profile ~detector:det p in
+  (prof, det.Detector.snapshot ())
 
 let boruvka_mk_detector t = function
   | `Gk ->
@@ -118,21 +137,24 @@ let boruvka_mk_detector t = function
 let boruvka_run ?(processors = 4) mesh variant =
   let t = Boruvka.create ~mesh () in
   let det = boruvka_mk_detector t variant in
+  let full = Boruvka.full_detector t det in
   let stats =
-    Executor.run_rounds ~processors
-      ~detector:(Boruvka.full_detector t det)
+    Executor.run_rounds ~processors ~detector:full
       ~operator:(Boruvka.operator t det)
       (List.init mesh.Mesh.nodes Fun.id)
   in
-  (t, stats)
+  (t, stats, full.Detector.snapshot ())
 
 let boruvka_profile mesh variant =
   let t = Boruvka.create ~mesh () in
   let det = boruvka_mk_detector t variant in
-  Parameter.profile
-    ~detector:(Boruvka.full_detector t det)
-    ~operator:(Boruvka.operator t det)
-    (List.init mesh.Mesh.nodes Fun.id)
+  let full = Boruvka.full_detector t det in
+  let prof =
+    Parameter.profile ~detector:full
+      ~operator:(Boruvka.operator t det)
+      (List.init mesh.Mesh.nodes Fun.id)
+  in
+  (prof, full.Detector.snapshot ())
 
 let clustering_mk_detector t = function
   | `Gk ->
@@ -151,14 +173,17 @@ let clustering_run ?(processors = 4) pts variant =
     Executor.run_rounds ~processors ~detector:det
       ~operator:(Clustering.operator t det) (Array.to_list pts)
   in
-  (t, stats)
+  (t, stats, det.Detector.snapshot ())
 
 let clustering_profile pts variant =
   let t = Clustering.create ~dims:2 () in
   Clustering.load t pts;
   let det = clustering_mk_detector t variant in
-  Parameter.profile ~detector:det ~operator:(Clustering.operator t det)
-    (Array.to_list pts)
+  let prof =
+    Parameter.profile ~detector:det ~operator:(Clustering.operator t det)
+      (Array.to_list pts)
+  in
+  (prof, det.Detector.snapshot ())
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: critical path, parallelism, overhead                       *)
@@ -173,6 +198,25 @@ let table1 scale =
      boruvka   uf-ml/uf-gk: path 3678/3681, par 271.89/271.67, ovh 2.5/1.31\n\
      clustering kd-ml/kd-gk: path 2209/123, par 115.88/2018.15, ovh 58.76/2.32";
   pf "%-22s %-12s %-14s %-10s@." "variant" "path" "parallelism" "overhead";
+  let rows = ref [] in
+  let row ~variant ~(prof : Parameter.profile) ~ovh ~snap =
+    pf "%-22s %-12d %-14.2f %-10.2f@." variant prof.Parameter.critical_path
+      prof.Parameter.parallelism ovh;
+    let total = prof.Parameter.total_iterations + prof.Parameter.aborted in
+    rows :=
+      Jsonx.Obj
+        [
+          ("variant", Jsonx.Str variant);
+          ("path_length", Jsonx.Int prof.Parameter.critical_path);
+          ("parallelism", Jsonx.Float prof.Parameter.parallelism);
+          ("overhead", Jsonx.Float ovh);
+          ( "abort_ratio",
+            Jsonx.Float (float_of_int prof.Parameter.aborted /. float_of_int (max 1 total))
+          );
+          ("obs", Obs.snapshot_to_json snap);
+        ]
+      :: !rows
+  in
   (* --- preflow-push --- *)
   let inp = preflow_input scale in
   let median f = Stats.time_median ~reps:3 f in
@@ -183,12 +227,9 @@ let table1 scale =
   in
   List.iter
     (fun (name, mk) ->
-      let prof = preflow_profile inp mk in
+      let prof, snap = preflow_profile inp mk in
       let t1 = median (fun () -> ignore (preflow_run ~processors:1 inp mk)) in
-      let ovh = t1 /. seq_time in
-      pf "%-22s %-12d %-14.2f %-10.2f@."
-        ("preflow-" ^ name)
-        prof.Parameter.critical_path prof.Parameter.parallelism ovh)
+      row ~variant:("preflow-" ^ name) ~prof ~ovh:(t1 /. seq_time) ~snap)
     preflow_variants;
   (* --- boruvka --- *)
   let mesh = Mesh.generate ~rows:scale.mesh_rows ~cols:scale.mesh_cols () in
@@ -197,12 +238,9 @@ let table1 scale =
   in
   List.iter
     (fun (name, v) ->
-      let prof = boruvka_profile mesh v in
+      let prof, snap = boruvka_profile mesh v in
       let t1 = median (fun () -> ignore (boruvka_run ~processors:1 mesh v)) in
-      let ovh = t1 /. seq_time in
-      pf "%-22s %-12d %-14.2f %-10.2f@."
-        ("boruvka-" ^ name)
-        prof.Parameter.critical_path prof.Parameter.parallelism ovh)
+      row ~variant:("boruvka-" ^ name) ~prof ~ovh:(t1 /. seq_time) ~snap)
     [ ("uf-ml", `Ml); ("uf-gk", `Gk) ];
   (* --- clustering --- *)
   let pts = Point.random_cloud ~seed:31 ~dim:2 scale.cluster_points in
@@ -211,13 +249,11 @@ let table1 scale =
   in
   List.iter
     (fun (name, v) ->
-      let prof = clustering_profile pts v in
+      let prof, snap = clustering_profile pts v in
       let t1 = median (fun () -> ignore (clustering_run ~processors:1 pts v)) in
-      let ovh = t1 /. seq_time in
-      pf "%-22s %-12d %-14.2f %-10.2f@."
-        ("clustering-" ^ name)
-        prof.Parameter.critical_path prof.Parameter.parallelism ovh)
-    [ ("kd-ml", `Ml); ("kd-gk", `Gk) ]
+      row ~variant:("clustering-" ^ name) ~prof ~ovh:(t1 /. seq_time) ~snap)
+    [ ("kd-ml", `Ml); ("kd-gk", `Gk) ];
+  json_doc ~experiment:"table1" ~full:(scale == full_scale) (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: set microbenchmark                                         *)
@@ -230,6 +266,7 @@ let table2 scale =
      distinct: aborts 48.68/0/0/0 %, times 4.644/1.097/1.365/1.191 s\n\
      repeats : aborts 44.07/1.53/0.09/0 %, times 3.935/1.538/0.818/0.697 s\n\
      (order: global lock, excl abs lock, rw abs lock, gatekeeper)";
+  let rows = ref [] in
   List.iter
     (fun (label, classes) ->
       pf "--- input: %s (%d ops) ---@." label scale.micro_ops;
@@ -237,10 +274,27 @@ let table2 scale =
       List.iter
         (fun s ->
           let r = Set_micro.run ~threads:4 ~classes ~n:scale.micro_ops s in
+          let st = r.Set_micro.stats in
           pf "%-16s %-12.2f %-14.4f %-12.4f@." (Set_micro.scheme_name s)
-            r.Set_micro.abort_pct (est_time r.Set_micro.stats) r.Set_micro.wall_s)
+            r.Set_micro.abort_pct (est_time st) r.Set_micro.wall_s;
+          rows :=
+            Jsonx.Obj
+              [
+                ("input", Jsonx.Str label);
+                ("scheme", Jsonx.Str (Set_micro.scheme_name s));
+                ("abort_pct", Jsonx.Float r.Set_micro.abort_pct);
+                ("est_time_s", Jsonx.Float (est_time st));
+                ("wall_s", Jsonx.Float r.Set_micro.wall_s);
+                ("parallelism", Jsonx.Float (Executor.parallelism st));
+                ("rounds", Jsonx.Int st.Executor.rounds);
+                ("committed", Jsonx.Int st.Executor.committed);
+                ("aborted", Jsonx.Int st.Executor.aborted);
+                ("obs", Obs.snapshot_to_json r.Set_micro.snapshot);
+              ]
+            :: !rows)
         Set_micro.all_schemes)
-    [ ("distinct elements", 0); ("10 equivalence classes", 10) ]
+    [ ("distinct elements", 0); ("10 equivalence classes", 10) ];
+  json_doc ~experiment:"table2" ~full:(scale == full_scale) (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Figures 10-12: runtime vs thread count                              *)
@@ -253,6 +307,7 @@ let fig10 scale =
     "Figure 10: preflow-push estimated runtime (s) vs threads\n\
      (paper: run time inversely correlated with precision -- part < ex < ml)";
   let inp = preflow_input scale in
+  let rows = ref [] in
   pf "%-10s" "threads";
   List.iter (fun (n, _) -> pf " %-12s" n) preflow_variants;
   pf "@.";
@@ -260,12 +315,24 @@ let fig10 scale =
     (fun p ->
       pf "%-10d" p;
       List.iter
-        (fun (_, mk) ->
-          let _, s = preflow_run ~processors:p inp mk in
-          pf " %-12.4f" (est_time s))
+        (fun (name, mk) ->
+          let _, s, snap = preflow_run ~processors:p inp mk in
+          pf " %-12.4f" (est_time s);
+          rows :=
+            Jsonx.Obj
+              [
+                ("figure", Jsonx.Str "fig10");
+                ("threads", Jsonx.Int p);
+                ("variant", Jsonx.Str ("preflow-" ^ name));
+                ("est_time_s", Jsonx.Float (est_time s));
+                ("abort_ratio", Jsonx.Float (Executor.abort_ratio s));
+                ("obs", Obs.snapshot_to_json snap);
+              ]
+            :: !rows)
         preflow_variants;
       pf "@.")
-    threads_sweep
+    threads_sweep;
+  List.rev !rows
 
 let fig11 scale =
   header
@@ -276,12 +343,29 @@ let fig11 scale =
   let seq = median (fun () -> ignore (clustering_run ~processors:1 pts `None)) in
   pf "sequential time: %.4fs@." seq;
   pf "%-10s %-12s %-12s@." "threads" "kd-gk" "kd-ml";
+  let rows = ref [] in
+  let row p variant s snap =
+    rows :=
+      Jsonx.Obj
+        [
+          ("figure", Jsonx.Str "fig11");
+          ("threads", Jsonx.Int p);
+          ("variant", Jsonx.Str variant);
+          ("est_time_s", Jsonx.Float (est_time s));
+          ("abort_ratio", Jsonx.Float (Executor.abort_ratio s));
+          ("obs", Obs.snapshot_to_json snap);
+        ]
+      :: !rows
+  in
   List.iter
     (fun p ->
-      let _, gk = clustering_run ~processors:p pts `Gk in
-      let _, ml = clustering_run ~processors:p pts `Ml in
-      pf "%-10d %-12.4f %-12.4f@." p (est_time gk) (est_time ml))
-    threads_sweep
+      let _, gk, gk_snap = clustering_run ~processors:p pts `Gk in
+      let _, ml, ml_snap = clustering_run ~processors:p pts `Ml in
+      pf "%-10d %-12.4f %-12.4f@." p (est_time gk) (est_time ml);
+      row p "kd-gk" gk gk_snap;
+      row p "kd-ml" ml ml_snap)
+    threads_sweep;
+  List.rev !rows
 
 let fig12 scale =
   header
@@ -295,16 +379,31 @@ let fig12 scale =
   let serial = median (fun () -> ignore (boruvka_run ~processors:1 mesh `None)) in
   let od v = median (fun () -> ignore (boruvka_run ~processors:1 mesh v)) /. serial in
   let od_gk = od `Gk and od_ml = od `Ml in
-  let ad_gk = (boruvka_profile mesh `Gk).Parameter.parallelism in
-  let ad_ml = (boruvka_profile mesh `Ml).Parameter.parallelism in
+  let ad_gk = (fst (boruvka_profile mesh `Gk)).Parameter.parallelism in
+  let ad_ml = (fst (boruvka_profile mesh `Ml)).Parameter.parallelism in
   pf "serial time: %.4fs   o_gk=%.2f a_gk=%.1f   o_ml=%.2f a_ml=%.1f@." serial
     od_gk ad_gk od_ml ad_ml;
   pf "%-10s %-16s %-16s %-16s %-16s@." "threads" "uf-gk sim-spdup"
     "uf-ml sim-spdup" "uf-gk model" "uf-ml model";
+  let rows = ref [] in
+  let row p variant s snap model_spdup =
+    rows :=
+      Jsonx.Obj
+        [
+          ("figure", Jsonx.Str "fig12");
+          ("threads", Jsonx.Int p);
+          ("variant", Jsonx.Str variant);
+          ("sim_speedup", Jsonx.Float (serial /. est_time s));
+          ("model_speedup", Jsonx.Float model_spdup);
+          ("abort_ratio", Jsonx.Float (Executor.abort_ratio s));
+          ("obs", Obs.snapshot_to_json snap);
+        ]
+      :: !rows
+  in
   List.iter
     (fun p ->
-      let _, gk = boruvka_run ~processors:p mesh `Gk in
-      let _, ml = boruvka_run ~processors:p mesh `Ml in
+      let _, gk, gk_snap = boruvka_run ~processors:p mesh `Gk in
+      let _, ml, ml_snap = boruvka_run ~processors:p mesh `Ml in
       let model od ad =
         serial
         /. Stats.model_runtime ~t_seq:serial ~overhead:od ~parallelism:ad
@@ -313,8 +412,11 @@ let fig12 scale =
       pf "%-10d %-16.2f %-16.2f %-16.2f %-16.2f@." p
         (serial /. est_time gk)
         (serial /. est_time ml)
-        (model od_gk ad_gk) (model od_ml ad_ml))
-    threads_sweep
+        (model od_gk ad_gk) (model od_ml ad_ml);
+      row p "uf-gk" gk gk_snap (model od_gk ad_gk);
+      row p "uf-ml" ml ml_snap (model od_ml ad_ml))
+    threads_sweep;
+  List.rev !rows
 
 (* ------------------------------------------------------------------ *)
 (* The §5 performance model                                            *)
@@ -335,8 +437,8 @@ let model scale =
     "model t(p=8)";
   List.iter
     (fun (name, mk) ->
-      let prof = preflow_profile inp mk in
-      let _, s1 = preflow_run ~processors:1 inp mk in
+      let prof, _ = preflow_profile inp mk in
+      let _, s1, _ = preflow_run ~processors:1 inp mk in
       let od = s1.Executor.wall_s /. seq_time in
       let ad = prof.Parameter.parallelism in
       let t p =
@@ -406,6 +508,7 @@ let specialized_rw_set_detector () =
     on_commit = release;
     on_abort = release;
     reset = (fun () -> Hashtbl.reset locks);
+    snapshot = Detector.no_snapshot;
   }
 
 let ablation scale =
@@ -581,35 +684,69 @@ let bechamel () =
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* All three thread-sweep figures as one JSON document (rows carry a
+   "figure" discriminator). *)
+let figs scale =
+  let r10 = fig10 scale and r11 = fig11 scale and r12 = fig12 scale in
+  json_doc ~experiment:"figs" ~full:(scale == full_scale) (r10 @ r11 @ r12)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let scale = if full then full_scale else default_scale in
   let args = List.filter (fun a -> a <> "--full") args in
+  let json_file, args =
+    let rec grab acc = function
+      | [] -> (None, List.rev acc)
+      | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+      | [ "--json" ] ->
+          pf "--json needs a file argument@.";
+          exit 1
+      | a :: rest -> grab (a :: acc) rest
+    in
+    grab [] args
+  in
   let what = match args with [] -> "all" | w :: _ -> w in
+  let emit json =
+    match json_file with
+    | None -> ()
+    | Some f ->
+        let oc = open_out f in
+        output_string oc (Jsonx.to_string ~indent:2 json);
+        output_string oc "\n";
+        close_out oc;
+        pf "wrote %s@." f
+  in
+  let no_json name k =
+    (match json_file with
+    | Some _ -> pf "note: %s has no JSON output; --json ignored@." name
+    | None -> ());
+    k ()
+  in
   let all () =
-    table1 scale;
-    table2 scale;
-    fig10 scale;
-    fig11 scale;
-    fig12 scale;
+    ignore (table1 scale);
+    ignore (table2 scale);
+    ignore (fig10 scale);
+    ignore (fig11 scale);
+    ignore (fig12 scale);
     model scale;
     ablation scale;
     bechamel ()
   in
   match what with
-  | "all" -> all ()
-  | "table1" -> table1 scale
-  | "table2" -> table2 scale
-  | "fig10" -> fig10 scale
-  | "fig11" -> fig11 scale
-  | "fig12" -> fig12 scale
-  | "model" -> model scale
-  | "ablation" -> ablation scale
-  | "bechamel" -> bechamel ()
+  | "all" -> no_json "all" all
+  | "table1" -> emit (table1 scale)
+  | "table2" -> emit (table2 scale)
+  | "fig10" -> emit (json_doc ~experiment:"fig10" ~full (fig10 scale))
+  | "fig11" -> emit (json_doc ~experiment:"fig11" ~full (fig11 scale))
+  | "fig12" -> emit (json_doc ~experiment:"fig12" ~full (fig12 scale))
+  | "figs" -> emit (figs scale)
+  | "model" -> no_json "model" (fun () -> model scale)
+  | "ablation" -> no_json "ablation" (fun () -> ablation scale)
+  | "bechamel" -> no_json "bechamel" bechamel
   | other ->
       pf
         "unknown experiment %S; one of \
-         all|table1|table2|fig10|fig11|fig12|model|ablation|bechamel@."
+         all|table1|table2|fig10|fig11|fig12|figs|model|ablation|bechamel@."
         other;
       exit 1

@@ -9,6 +9,8 @@
                                   strengthening-chain validation (--chain)
      commlat order FILE1 FILE2    lattice comparison of two specs
      commlat print FILE           canonical re-print (round-trips)
+     commlat stats FILE           render/validate observability snapshots
+                                  from bench/main.exe --json output
 
    Exit codes: 0 success; 1 analysis errors (lint) or domain failures;
    2 unreadable/unparsable input (with a positioned error message). *)
@@ -233,6 +235,111 @@ let order_cmd =
     (Cmd.info "order" ~doc:"Compare two specifications in the commutativity lattice.")
     Term.(const run $ spec_file_arg ~pos:0 () $ spec_file_arg ~pos:1 ())
 
+(* ---- stats ---- *)
+
+module Obs = Commlat_obs.Obs
+module Jsonx = Commlat_obs.Jsonx
+
+let stats_cmd =
+  let run path validate =
+    let src = read_file path in
+    match Jsonx.parse src with
+    | Error msg ->
+        Fmt.epr "%s: not JSON: %s@." path msg;
+        exit 2
+    | Ok json ->
+        (* Pull out every observability snapshot anywhere in the document,
+           labelling each with the identifying fields ("variant", "scheme",
+           "input", "figure", "threads") of the nearest enclosing row. *)
+        let row_label kvs =
+          let s k =
+            match List.assoc_opt k kvs with
+            | Some (Jsonx.Str v) -> Some (Fmt.str "%s=%s" k v)
+            | Some (Jsonx.Int v) -> Some (Fmt.str "%s=%d" k v)
+            | _ -> None
+          in
+          match
+            List.filter_map s [ "figure"; "variant"; "scheme"; "input"; "threads" ]
+          with
+          | [] -> None
+          | parts -> Some (String.concat " " parts)
+        in
+        let rec collect label acc j =
+          match (if Obs.is_snapshot_json j then Obs.snapshot_of_json j else Error "") with
+          | Ok s -> (label, s) :: acc
+          | Error _ -> (
+              match j with
+              | Jsonx.List l -> List.fold_left (collect label) acc l
+              | Jsonx.Obj kvs ->
+                  let label =
+                    match row_label kvs with Some l -> Some l | None -> label
+                  in
+                  List.fold_left (fun acc (_, v) -> collect label acc v) acc kvs
+              | _ -> acc)
+        in
+        let snaps = List.rev (collect None [] json) in
+        if validate then (
+          (* CI gate: the file must be a commlat-bench/1 document whose
+             every row carries a well-formed snapshot under "obs". *)
+          let fail fmt = Fmt.kstr (fun m -> Fmt.epr "%s: invalid: %s@." path m; exit 1) fmt in
+          let mem k kvs = List.assoc_opt k kvs in
+          match json with
+          | Jsonx.Obj kvs -> (
+              (match mem "schema" kvs with
+              | Some (Jsonx.Str "commlat-bench/1") -> ()
+              | _ -> fail "missing or unexpected \"schema\" (want commlat-bench/1)");
+              (match mem "experiment" kvs with
+              | Some (Jsonx.Str _) -> ()
+              | _ -> fail "missing \"experiment\"");
+              match mem "rows" kvs with
+              | Some (Jsonx.List rows) ->
+                  if rows = [] then fail "empty \"rows\"";
+                  List.iteri
+                    (fun i row ->
+                      match row with
+                      | Jsonx.Obj r -> (
+                          match mem "obs" r with
+                          | Some o -> (
+                              match Obs.snapshot_of_json o with
+                              | Ok _ -> ()
+                              | Error e -> fail "row %d: bad \"obs\": %s" i e)
+                          | None -> fail "row %d: no \"obs\" snapshot" i)
+                      | _ -> fail "row %d is not an object" i)
+                    rows;
+                  Fmt.pr "%s: valid commlat-bench/1 document, %d rows, %d snapshots@."
+                    path (List.length rows) (List.length snaps)
+              | _ -> fail "missing \"rows\" list")
+          | _ -> fail "top level is not an object")
+        else (
+          if snaps = [] then (
+            Fmt.epr "%s: no observability snapshots found@." path;
+            exit 1);
+          List.iter
+            (fun (label, s) ->
+              (match label with Some l -> Fmt.pr "--- %s ---@." l | None -> ());
+              Fmt.pr "%a@." Obs.pp_snapshot s)
+            snaps)
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"JSON" ~doc:"Snapshot/benchmark JSON file.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Validate the file as a $(b,commlat-bench/1) document (as emitted \
+             by $(b,bench/main.exe --json)) instead of rendering it.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Render the observability snapshots stored in a benchmark JSON file \
+          ($(b,bench/main.exe <exp> --json FILE)), or validate the file's \
+          schema for CI. Exits 1 when no snapshots are found or validation \
+          fails, 2 on unreadable/unparsable input.")
+    Term.(const run $ file $ validate)
+
 (* ---- print ---- *)
 
 let print_cmd =
@@ -252,4 +359,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ classify_cmd; matrix_cmd; check_cmd; lint_cmd; order_cmd; print_cmd ]))
+          [ classify_cmd; matrix_cmd; check_cmd; lint_cmd; order_cmd; print_cmd; stats_cmd ]))

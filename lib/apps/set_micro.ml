@@ -56,6 +56,8 @@ type result = {
   wall_s : float;
   makespan : float;
   stats : Executor.stats;
+  snapshot : Commlat_obs.Obs.snapshot;
+      (** the detector's own counters after the run *)
 }
 
 (** Run the microbenchmark for one scheme on [threads] simulated
@@ -74,6 +76,7 @@ let run ?(threads = 4) ~classes ~n (s : scheme) : result =
     wall_s = stats.Executor.wall_s;
     makespan = stats.Executor.makespan;
     stats;
+    snapshot = det.Detector.snapshot ();
   }
 
 let all_schemes : scheme list = [ `Global; `Exclusive; `Rw; `Gatekeeper ]

@@ -209,15 +209,31 @@ module Obj_tbl = Hashtbl.Make (Obj_key)
 
 type holder = { txn : int; mode : int; mutable count : int }
 
+module Obs = Commlat_obs.Obs
+
 type table = {
   scheme : scheme;
   locks : holder list ref Obj_tbl.t;
   held : (int, (lock_obj * holder) list) Hashtbl.t;  (** per txn *)
   mu : Mutex.t;
+  obs : Obs.t;
+  c_acq : Obs.counter;  (** fresh lock acquisitions *)
+  c_upg : Obs.counter;  (** re-entrant re-acquisitions (count bumps) *)
+  c_deny : Obs.counter;  (** incompatible requests (conflicts) *)
 }
 
 let table scheme =
-  { scheme; locks = Obj_tbl.create 1024; held = Hashtbl.create 64; mu = Mutex.create () }
+  let obs = Obs.create (Fmt.str "abslock(%s)" (Spec.adt scheme.spec)) in
+  {
+    scheme;
+    locks = Obj_tbl.create 1024;
+    held = Hashtbl.create 64;
+    mu = Mutex.create ();
+    obs;
+    c_acq = Obs.counter obs "lock_acquisitions";
+    c_upg = Obs.counter obs "lock_upgrades";
+    c_deny = Obs.counter obs "lock_denials";
+  }
 
 (* Must be called with [t.mu] held. *)
 let acquire_locked t ~txn obj mode =
@@ -231,15 +247,24 @@ let acquire_locked t ~txn obj mode =
   in
   List.iter
     (fun h ->
-      if h.txn <> txn && not t.scheme.compat.(h.mode).(mode) then
+      if h.txn <> txn && not t.scheme.compat.(h.mode).(mode) then begin
+        Obs.incr t.c_deny;
+        Obs.label t.obs ~cat:"lock_deny" t.scheme.mode_names.(mode);
+        Obs.label t.obs ~cat:"abort_cause"
+          (Fmt.str "%s|%s" t.scheme.mode_names.(h.mode) t.scheme.mode_names.(mode));
         Detector.conflict ~txn ~with_:h.txn
           (Fmt.str "lock %s held in mode %s, requested %s"
              (match obj with Ds -> "<ds>" | Key v -> Value.to_string v)
-             t.scheme.mode_names.(h.mode) t.scheme.mode_names.(mode)))
+             t.scheme.mode_names.(h.mode) t.scheme.mode_names.(mode))
+      end)
     !cell;
   match List.find_opt (fun h -> h.txn = txn && h.mode = mode) !cell with
-  | Some h -> h.count <- h.count + 1
+  | Some h ->
+      Obs.incr t.c_upg;
+      h.count <- h.count + 1
   | None ->
+      Obs.incr t.c_acq;
+      Obs.label t.obs ~cat:"lock_acquire" t.scheme.mode_names.(mode);
       let h = { txn; mode; count = 1 } in
       cell := h :: !cell;
       Hashtbl.replace t.held txn
@@ -294,12 +319,14 @@ let detector ?(reduce_scheme = true) (spec : Spec.t) : Detector.t =
              (a.mode, a.after_exec, Option.map (compile_key spec) a.key))
            acqs))
     scheme.acquisitions;
+  let c_inv = Obs.counter t.obs "invocations" in
   let on_invoke (inv : Invocation.t) exec =
     let txn = inv.Invocation.txn in
     let acqs =
       Option.value ~default:[]
         (Hashtbl.find_opt compiled inv.Invocation.meth.name)
     in
+    Obs.incr c_inv;
     Mutex.protect t.mu (fun () ->
         (* before-execution acquisitions: ds lock and argument locks *)
         List.iter
@@ -329,4 +356,5 @@ let detector ?(reduce_scheme = true) (spec : Spec.t) : Detector.t =
         Mutex.protect t.mu (fun () ->
             Obj_tbl.reset t.locks;
             Hashtbl.reset t.held));
+    snapshot = (fun () -> Obs.snapshot t.obs);
   }

@@ -22,13 +22,20 @@ exception Conflict of { txn : int; with_ : int; reason : string }
 
 let conflict ~txn ~with_ reason = raise (Conflict { txn; with_; reason })
 
+module Obs = Commlat_obs.Obs
+
 type t = {
   name : string;
   on_invoke : Invocation.t -> (unit -> Value.t) -> Value.t;
   on_commit : int -> unit;
   on_abort : int -> unit;
   reset : unit -> unit;
+  snapshot : unit -> Obs.snapshot;
 }
+
+(** A snapshot hook for detectors with nothing to report (ad-hoc test
+    detectors, baselines). *)
+let no_snapshot () = Obs.empty "unobserved"
 
 (** No detection at all: used to measure the plain sequential baseline
     [T] in the paper's performance model (§5, "Putting it all together"). *)
@@ -43,6 +50,7 @@ let none =
     on_commit = ignore;
     on_abort = ignore;
     reset = ignore;
+    snapshot = (fun () -> Obs.empty "none");
   }
 
 (** Compose the transaction-lifecycle view of several detectors, one per
@@ -60,6 +68,12 @@ let compose (ds : t list) : t =
     on_commit = (fun txn -> List.iter (fun d -> d.on_commit txn) ds);
     on_abort = (fun txn -> List.iter (fun d -> d.on_abort txn) ds);
     reset = (fun () -> List.iter (fun d -> d.reset ()) ds);
+    snapshot =
+      (fun () ->
+        Obs.merge
+          (Fmt.str "compose(%a)" Fmt.(list ~sep:comma string)
+             (List.map (fun d -> d.name) ds))
+          (List.map (fun d -> d.snapshot ()) ds));
   }
 
 (** Serialize invocations of distinct transactions: the first transaction to
@@ -69,6 +83,10 @@ let compose (ds : t list) : t =
 let global_lock () =
   let owner = ref None in
   let mu = Mutex.create () in
+  let obs = Obs.create "global-lock" in
+  let c_inv = Obs.counter obs "invocations" in
+  let c_acq = Obs.counter obs "lock_acquisitions" in
+  let c_deny = Obs.counter obs "lock_denials" in
   let release txn =
     Mutex.protect mu (fun () ->
         match !owner with Some o when o = txn -> owner := None | _ -> ())
@@ -78,14 +96,22 @@ let global_lock () =
     on_invoke =
       (fun inv exec ->
         Mutex.protect mu (fun () ->
+            Obs.incr c_inv;
             (match !owner with
             | Some o when o <> inv.Invocation.txn ->
+                Obs.incr c_deny;
+                Obs.label obs ~cat:"lock_deny" "<ds>:exclusive";
+                Obs.label obs ~cat:"abort_cause" "global lock held";
                 conflict ~txn:inv.Invocation.txn ~with_:o "global lock held"
-            | _ -> owner := Some inv.Invocation.txn);
+            | _ ->
+                Obs.incr c_acq;
+                Obs.label obs ~cat:"lock_acquire" "<ds>:exclusive";
+                owner := Some inv.Invocation.txn);
             let r = exec () in
             inv.Invocation.ret <- r;
             r));
     on_commit = release;
     on_abort = release;
     reset = (fun () -> owner := None);
+    snapshot = (fun () -> Obs.snapshot obs);
   }

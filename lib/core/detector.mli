@@ -29,7 +29,15 @@ type t = {
       (** transaction rolled back (its effects are already undone when this
           is called): release *)
   reset : unit -> unit;  (** drop all state (between experiments) *)
+  snapshot : unit -> Commlat_obs.Obs.snapshot;
+      (** current observability counters (lock acquisitions/denials,
+          gatekeeper checks/rollbacks, abort causes, …); see
+          {!Commlat_obs.Obs} *)
 }
+
+(** A snapshot hook for detectors with nothing to report (ad-hoc test
+    detectors, baselines): always the empty snapshot. *)
+val no_snapshot : unit -> Commlat_obs.Obs.snapshot
 
 (** No detection at all: used to measure the plain sequential baseline [T]
     in the paper's performance model (§5). *)

@@ -59,6 +59,8 @@ type entry = {
       (** results of [C_m] functions, keyed by (name, evaluated args) *)
 }
 
+module Obs = Commlat_obs.Obs
+
 type t = {
   spec : Spec.t;
   hooks : hooks;
@@ -77,6 +79,15 @@ type t = {
   mutable seq : int;
   mu : Mutex.t;
   stats_rollbacks : int ref;
+  obs : Obs.t;
+  c_invocations : Obs.counter;  (** method invocations intercepted *)
+  c_checks : Obs.counter;  (** commutativity conditions evaluated *)
+  c_conflicts : Obs.counter;  (** conditions that evaluated to false *)
+  c_log_hits : Obs.counter;  (** s1-function reads served from the C_m log *)
+  c_rb_hits : Obs.counter;  (** s1-function reads served by reconstruction *)
+  c_rollbacks : Obs.counter;  (** undo/redo sweeps (= [stats_rollbacks]) *)
+  c_sfun_at : Obs.counter;  (** past-state queries on persistent ADTs *)
+  d_sweep_depth : Obs.dist;  (** mutations undone per sweep *)
 }
 
 and cond_info = {
@@ -87,16 +98,25 @@ and cond_info = {
           {!Formula.rollback_functions} *)
 }
 
+(* Deduplication goes through a hash set keyed by (method, function):
+   the old [List.filter]/[List.mem] version was quadratic in the number of
+   logged state functions, which dominated gatekeeper construction for
+   specs with many conditions over the same method. *)
 let build_cm (spec : Spec.t) =
   let cm = Hashtbl.create 16 in
+  let seen : (string * (string * Formula.term list), unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
   List.iter
     (fun ((m1, _), cond) ->
-      let fns =
-        Formula.f1_functions cond |> List.map (fun (name, args, _) -> (name, args))
-      in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt cm m1) in
-      let fresh = List.filter (fun f -> not (List.mem f cur)) fns in
-      Hashtbl.replace cm m1 (fresh @ cur))
+      Formula.f1_functions cond
+      |> List.iter (fun (name, args, _) ->
+             let f = (name, args) in
+             if not (Hashtbl.mem seen (m1, f)) then begin
+               Hashtbl.add seen (m1, f) ();
+               Hashtbl.replace cm m1
+                 (f :: Option.value ~default:[] (Hashtbl.find_opt cm m1))
+             end))
     (Spec.pairs spec);
   cm
 
@@ -139,12 +159,16 @@ let check_env (t : t) (e : entry) (inv2 : Invocation.t)
         t.hooks.sfun name args
     | Formula.S1 -> (
         match Hashtbl.find_opt e.log (name, args) with
-        | Some v -> v
+        | Some v ->
+            Obs.incr t.c_log_hits;
+            v
         | None -> (
             match
               Option.bind rb_cache (fun c -> Hashtbl.find_opt c (name, args))
             with
-            | Some v -> v
+            | Some v ->
+                Obs.incr t.c_rb_hits;
+                v
             | None ->
                 invalid_arg
                   (Fmt.str
@@ -190,9 +214,11 @@ let rollback_sweep (t : t) (inv2 : Invocation.t)
                   if
                     (not (Hashtbl.mem e.log (name, args)))
                     && not (Hashtbl.mem cache (name, args))
-                  then
+                  then begin
+                    Obs.incr t.c_sfun_at;
                     Hashtbl.replace cache (name, args)
-                      (sfun_at e.inv.Invocation.seq name args))
+                      (sfun_at e.inv.Invocation.seq name args)
+                  end)
                 fns;
               if Hashtbl.length cache > 0 then
                 Hashtbl.replace caches e.inv.Invocation.uid cache)
@@ -223,10 +249,13 @@ let rollback_sweep (t : t) (inv2 : Invocation.t)
      in
      if items <> [] then begin
        incr t.stats_rollbacks;
+       Obs.incr t.c_rollbacks;
        let undone = ref [] (* oldest-undone first, i.e. redo order *) in
        let log = ref t.mutation_log (* newest first *) in
        Fun.protect
-         ~finally:(fun () -> List.iter t.hooks.redo !undone)
+         ~finally:(fun () ->
+           Obs.observe t.d_sweep_depth (List.length !undone);
+           List.iter t.hooks.redo !undone)
          (fun () ->
            List.iter
              (fun ((e : entry), wanted) ->
@@ -291,6 +320,12 @@ let make ~allow_rollback hooks spec =
             use Gatekeeper.general"
            (Spec.adt spec))
   | _ -> ());
+  let obs =
+    Obs.create
+      (Fmt.str "%s-gk(%s)"
+         (if allow_rollback then "gen" else "fwd")
+         (Spec.adt spec))
+  in
   {
     spec;
     hooks;
@@ -303,10 +338,20 @@ let make ~allow_rollback hooks spec =
     seq = 0;
     mu = Mutex.create ();
     stats_rollbacks = ref 0;
+    obs;
+    c_invocations = Obs.counter obs "invocations";
+    c_checks = Obs.counter obs "checks";
+    c_conflicts = Obs.counter obs "conflicts";
+    c_log_hits = Obs.counter obs "log_hits";
+    c_rb_hits = Obs.counter obs "rollback_hits";
+    c_rollbacks = Obs.counter obs "rollbacks";
+    c_sfun_at = Obs.counter obs "sfun_at_queries";
+    d_sweep_depth = Obs.dist obs "sweep_depth";
   }
 
 let on_invoke (t : t) (inv : Invocation.t) exec =
   Mutex.protect t.mu (fun () ->
+      Obs.incr t.c_invocations;
       t.seq <- t.seq + 1;
       inv.Invocation.seq <- t.seq;
       let entry = { inv; log = Hashtbl.create 4 } in
@@ -341,6 +386,7 @@ let on_invoke (t : t) (inv : Invocation.t) exec =
       let rb_caches = rollback_sweep t inv !needs_check in
       List.iter
         (fun ((e : entry), info) ->
+          Obs.incr t.c_checks;
           let ok =
             match info.formula with
             | Formula.False -> false
@@ -348,10 +394,14 @@ let on_invoke (t : t) (inv : Invocation.t) exec =
                 let rb_cache = Hashtbl.find_opt rb_caches e.inv.Invocation.uid in
                 info.compiled (check_env t e inv ~rb_cache)
           in
-          if not ok then
+          if not ok then begin
+            Obs.incr t.c_conflicts;
+            Obs.label t.obs ~cat:"abort_cause"
+              (Fmt.str "%s;%s" e.inv.Invocation.meth.name inv.Invocation.meth.name);
             Detector.conflict ~txn:inv.Invocation.txn ~with_:e.inv.Invocation.txn
               (Fmt.str "%a does not commute with %a" Invocation.pp e.inv
-                 Invocation.pp inv))
+                 Invocation.pp inv)
+          end)
         !needs_check;
       (let bucket =
          match Hashtbl.find_opt t.active inv.Invocation.meth.name with
@@ -382,6 +432,13 @@ let on_end (t : t) txn =
       prune t)
 
 let rollback_count (t : t) = !(t.stats_rollbacks)
+let obs (t : t) = t.obs
+
+(** The [C_m] log set of a method: the s1-functions whose results the
+    gatekeeper records on every invocation of [m] (exposed so tests can pin
+    the construction; order is unspecified). *)
+let cm_functions (t : t) m =
+  Option.value ~default:[] (Hashtbl.find_opt t.cm m)
 
 let detector ~name (t : t) : Detector.t =
   {
@@ -396,6 +453,7 @@ let detector ~name (t : t) : Detector.t =
             t.n_active <- 0;
             List.iter t.hooks.forget t.mutation_log;
             t.mutation_log <- []));
+    snapshot = (fun () -> Obs.snapshot t.obs);
   }
 
 (** Forward gatekeeper (paper §3.3.1).  Requires an ONLINE-CHECKABLE spec;

@@ -52,6 +52,17 @@ type t
 (** Number of state-reconstruction sweeps performed so far. *)
 val rollback_count : t -> int
 
+(** The gatekeeper's observability registry: [invocations], [checks],
+    [conflicts], [log_hits], [rollback_hits], [rollbacks],
+    [sfun_at_queries], the [sweep_depth] distribution and per-method-pair
+    [abort_cause] labels.  The same data is exported through the detector's
+    [snapshot] hook. *)
+val obs : t -> Commlat_obs.Obs.t
+
+(** The [C_m] log set of a method: the s1-functions (name, argument terms)
+    recorded on every invocation of that method.  Order is unspecified. *)
+val cm_functions : t -> string -> (string * Formula.term list) list
+
 (** Forward gatekeeper (paper §3.3.1).  Raises [Invalid_argument] if the
     spec has non-ONLINE-CHECKABLE conditions; [hooks.undo]/[redo] are never
     used, so bare [hooks sfun] suffices. *)

@@ -1,0 +1,265 @@
+(** A minimal JSON tree, emitter and parser.
+
+    The observability layer and the benchmark harness exchange snapshots as
+    JSON files ([BENCH_*.json], `commlat stats`); the container has no JSON
+    library baked in, so this module provides the small subset we need:
+    integers are kept distinct from floats so counter snapshots round-trip
+    exactly, the emitter is deterministic (object field order is preserved),
+    and the parser reports byte positions on error. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* JSON has no inf/nan literals; a non-finite measurement (e.g. an overhead
+   ratio against a zero-length baseline) degrades to null. *)
+let add_float b f =
+  if Float.is_finite f then (
+    let s = Printf.sprintf "%.17g" f in
+    Buffer.add_string b s;
+    (* ensure it re-parses as a float, not an int *)
+    if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then
+      Buffer.add_string b ".0")
+  else Buffer.add_string b "null"
+
+let to_string ?(indent = 2) (j : t) : string =
+  let b = Buffer.create 1024 in
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  let rec go depth = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> add_float b f
+    | Str s -> escape_string b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        Buffer.add_string b "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad ((depth + 1) * indent);
+            go (depth + 1) item)
+          items;
+        Buffer.add_char b '\n';
+        pad (depth * indent);
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        Buffer.add_string b "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad ((depth + 1) * indent);
+            escape_string b k;
+            Buffer.add_string b ": ";
+            go (depth + 1) v)
+          fields;
+        Buffer.add_char b '\n';
+        pad (depth * indent);
+        Buffer.add_char b '}'
+  in
+  go 0 j;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of int * string
+
+let parse (src : string) : (t, string) result =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub src !pos l = word then (
+      pos := !pos + l;
+      value)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let utf8_of_code b code =
+    (* BMP only; surrogate pairs outside \uXXXX escapes are not combined *)
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then (
+      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))))
+    else (
+      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))))
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char b '"'; go ()
+          | Some '\\' -> advance (); Buffer.add_char b '\\'; go ()
+          | Some '/' -> advance (); Buffer.add_char b '/'; go ()
+          | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
+          | Some 't' -> advance (); Buffer.add_char b '\t'; go ()
+          | Some 'r' -> advance (); Buffer.add_char b '\r'; go ()
+          | Some 'b' -> advance (); Buffer.add_char b '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char b '\012'; go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub src !pos 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code ->
+                  pos := !pos + 4;
+                  utf8_of_code b code
+              | None -> fail "bad \\u escape");
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let s = String.sub src start (!pos - start) in
+    let integral =
+      String.for_all (function '0' .. '9' | '-' -> true | _ -> false) s
+    in
+    if integral then
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt s with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    else
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields ((k, v) :: acc)
+            | Some '}' -> advance (); List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (items [])
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (p, msg) -> Error (Printf.sprintf "at byte %d: %s" p msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | Null -> Some nan (* non-finite measurements are emitted as null *)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_obj = function Obj o -> Some o | _ -> None

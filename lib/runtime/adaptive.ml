@@ -56,23 +56,44 @@ let score ~processors ~sample_size (c : 'w candidate) : float =
     per_unit_wall *. s.Executor.makespan /. float_of_int s.Executor.committed
 
 (** Sample every candidate on a prefix of the workload and pick the one
-    with the lowest virtual per-iteration cost. *)
+    with the lowest virtual per-iteration cost.
+
+    Candidates must have pairwise-distinct, non-empty names: names are how
+    the decision's [scores] report reads, and scoring through a name lookup
+    is precisely the bug that used to silently credit one duplicate with
+    the other's measurement. *)
 let choose ?(processors = 4) ?(sample_size = 64) (candidates : 'w candidate list) :
     'w decision =
   match candidates with
   | [] -> invalid_arg "Adaptive.choose: no candidates"
   | _ ->
-      let scores =
-        List.map (fun c -> (c.name, score ~processors ~sample_size c)) candidates
+      List.iter
+        (fun c -> if c.name = "" then invalid_arg "Adaptive.choose: empty candidate name")
+        candidates;
+      let seen = Hashtbl.create (List.length candidates) in
+      List.iter
+        (fun c ->
+          if Hashtbl.mem seen c.name then
+            invalid_arg
+              (Printf.sprintf "Adaptive.choose: duplicate candidate name %S" c.name)
+          else Hashtbl.add seen c.name ())
+        candidates;
+      (* each candidate is paired with ITS OWN score — never matched back
+         up by name *)
+      let scored =
+        List.map (fun c -> (c, score ~processors ~sample_size c)) candidates
       in
-      let winner =
+      let winner, _ =
         List.fold_left
-          (fun best c ->
-            let sc n = List.assoc n scores in
-            if sc c.name < sc best.name then c else best)
-          (List.hd candidates) candidates
+          (fun ((_, best_s) as best) ((_, s) as cand) ->
+            if s < best_s then cand else best)
+          (List.hd scored) (List.tl scored)
       in
-      { winner; scores; samples = sample_size }
+      {
+        winner;
+        scores = List.map (fun (c, s) -> (c.name, s)) scored;
+        samples = sample_size;
+      }
 
 (** Sample, pick, and run the winner on the full workload.  Returns the
     decision and the winning run's stats. *)

@@ -21,6 +21,7 @@
     every mutation it performs, so aborts can roll back. *)
 
 open Commlat_core
+module Obs = Commlat_obs.Obs
 
 type stats = {
   committed : int;  (** iterations that committed *)
@@ -57,8 +58,38 @@ let parallelism s = float_of_int s.committed /. float_of_int (max 1 s.rounds)
    that plain FIFO retry can cycle through forever (a contention-management
    decision; the paper notes each benchmark used "the best available
    contention manager"). *)
-let run_rounds ?(processors = 4) ?(cost = fun _ -> 1.0) ~(detector : Detector.t)
-    ~(operator : Txn.t -> 'w -> 'w list) (init : 'w list) : stats =
+(* Per-run observability hooks: counters for commit/abort/retry, per-round
+   commit/abort histograms and abort events, recorded into the caller's
+   registry when one is supplied ([?obs]).  A [None] costs one branch per
+   recording site. *)
+type obs_hooks = {
+  o_commit : Obs.counter;
+  o_abort : Obs.counter;
+  o_retry : Obs.counter;
+  o_rounds : Obs.counter;
+  o_round_commits : Obs.dist;
+  o_round_aborts : Obs.dist;
+  o_obs : Obs.t;
+}
+
+let obs_hooks = function
+  | None -> None
+  | Some obs ->
+      Some
+        {
+          o_commit = Obs.counter obs "committed";
+          o_abort = Obs.counter obs "aborted";
+          o_retry = Obs.counter obs "retries";
+          o_rounds = Obs.counter obs "rounds";
+          o_round_commits = Obs.dist obs "round_commits";
+          o_round_aborts = Obs.dist obs "round_aborts";
+          o_obs = obs;
+        }
+
+let run_rounds ?(processors = 4) ?(cost = fun _ -> 1.0) ?obs
+    ~(detector : Detector.t) ~(operator : Txn.t -> 'w -> 'w list)
+    (init : 'w list) : stats =
+  let oh = obs_hooks obs in
   let front = ref [] and back = ref [] and size = ref 0 in
   let push_back w =
     back := w :: !back;
@@ -83,7 +114,7 @@ let run_rounds ?(processors = 4) ?(cost = fun _ -> 1.0) ~(detector : Detector.t)
   List.iter push_back init;
   let committed = ref 0 and aborted = ref 0 and rounds = ref 0 in
   let makespan = ref 0.0 and total = ref 0.0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Stats.now_s () in
   while !size > 0 do
     incr rounds;
     let batch_size = min processors !size in
@@ -99,10 +130,16 @@ let run_rounds ?(processors = 4) ?(cost = fun _ -> 1.0) ~(detector : Detector.t)
         if c > !round_max then round_max := c;
         match operator txn item with
         | produced -> survivors := (txn, produced) :: !survivors
-        | exception Detector.Conflict _ ->
+        | exception Detector.Conflict { reason; _ } ->
             incr aborted;
             Txn.rollback txn;
             detector.Detector.on_abort (Txn.id txn);
+            (match oh with
+            | Some h ->
+                Obs.incr h.o_abort;
+                Obs.incr h.o_retry;
+                Obs.event h.o_obs ~tag:"abort" reason
+            | None -> ());
             retry := item :: !retry)
       batch;
     (* Commit survivors (releases their locks / log entries), then requeue:
@@ -114,6 +151,14 @@ let run_rounds ?(processors = 4) ?(cost = fun _ -> 1.0) ~(detector : Detector.t)
         detector.Detector.on_commit (Txn.id txn);
         List.iter push_back produced)
       (List.rev !survivors);
+    (match oh with
+    | Some h ->
+        let n_commit = List.length !survivors and n_abort = List.length !retry in
+        Obs.add h.o_commit n_commit;
+        Obs.incr h.o_rounds;
+        Obs.observe h.o_round_commits n_commit;
+        Obs.observe h.o_round_aborts n_abort
+    | None -> ());
     push_front_all (List.rev !retry);
     makespan := !makespan +. !round_max
   done;
@@ -123,14 +168,14 @@ let run_rounds ?(processors = 4) ?(cost = fun _ -> 1.0) ~(detector : Detector.t)
     rounds = !rounds;
     makespan = !makespan;
     total_work = !total;
-    wall_s = Unix.gettimeofday () -. t0;
+    wall_s = Stats.now_s () -. t0;
   }
 
 (** Plain sequential execution (one item at a time, conflict detection
     still active if the detector has any).  [run_rounds ~processors:1]
     specialised; used for the overhead measurements [o_d]. *)
-let run_sequential ?cost ~detector ~operator init =
-  run_rounds ~processors:1 ?cost ~detector ~operator init
+let run_sequential ?cost ?obs ~detector ~operator init =
+  run_rounds ~processors:1 ?cost ?obs ~detector ~operator init
 
 (* ------------------------------------------------------------------ *)
 (* Domain-based executor                                               *)
@@ -142,9 +187,17 @@ let run_sequential ?cost ~detector ~operator init =
     lifetimes overlap (locks are released only at the commit step), so
     cross-domain conflicts, aborts and retries are fully exercised while
     shared ADT state stays race-free.  [operator] receives the detector it
-    should route invocations through (the same one passed in). *)
-let run_domains ?(domains = 2) ~(detector : Detector.t)
+    should route invocations through (the same one passed in).
+
+    A non-[Conflict] exception from the operator is a bug in the operator,
+    not speculation: the raising transaction is rolled back, every worker is
+    told to stop, and the exception is re-raised (with its backtrace) after
+    all domains have joined.  Before this, the raising worker died inside
+    its critical section while every other domain spun forever on
+    [pending > 0] — a livelock. *)
+let run_domains ?(domains = 2) ?obs ~(detector : Detector.t)
     ~(operator : Detector.t -> Txn.t -> 'w -> 'w list) (init : 'w list) : stats =
+  let oh = obs_hooks obs in
   let world = Mutex.create () in
   let det = detector in
   let operator = operator det in
@@ -153,6 +206,13 @@ let run_domains ?(domains = 2) ~(detector : Detector.t)
   let qmu = Mutex.create () in
   let pending = Atomic.make (List.length init) in
   let committed = Atomic.make 0 and aborted = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let failure = Atomic.make None in
+  let record_failure e bt =
+    (* first failure wins; any later ones are secondary casualties *)
+    ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+    Atomic.set stop true
+  in
   let pop () =
     Mutex.protect qmu (fun () -> if Queue.is_empty q then None else Some (Queue.pop q))
   in
@@ -161,10 +221,10 @@ let run_domains ?(domains = 2) ~(detector : Detector.t)
     | [] -> ()
     | _ -> Mutex.protect qmu (fun () -> List.iter (fun w -> Queue.add w q) items)
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Stats.now_s () in
   let worker () =
     let continue = ref true in
-    while !continue do
+    while !continue && not (Atomic.get stop) do
       match pop () with
       | None -> if Atomic.get pending = 0 then continue := false else Domain.cpu_relax ()
       | Some item -> (
@@ -177,10 +237,15 @@ let run_domains ?(domains = 2) ~(detector : Detector.t)
             Mutex.protect world (fun () ->
                 match operator txn item with
                 | produced -> `Ok produced
-                | exception Detector.Conflict _ ->
+                | exception Detector.Conflict { reason; _ } ->
                     Txn.rollback txn;
                     det.Detector.on_abort (Txn.id txn);
-                    `Conflict)
+                    `Conflict reason
+                | exception e ->
+                    let bt = Printexc.get_raw_backtrace () in
+                    Txn.rollback txn;
+                    det.Detector.on_abort (Txn.id txn);
+                    `Error (e, bt))
           in
           match outcome with
           | `Ok produced ->
@@ -188,23 +253,39 @@ let run_domains ?(domains = 2) ~(detector : Detector.t)
               Mutex.protect world (fun () ->
                   Txn.commit txn;
                   det.Detector.on_commit (Txn.id txn));
+              (match oh with Some h -> Obs.incr h.o_commit | None -> ());
               Atomic.fetch_and_add pending (List.length produced) |> ignore;
               push produced;
               Atomic.decr pending
-          | `Conflict ->
+          | `Conflict reason ->
               Atomic.incr aborted;
+              (match oh with
+              | Some h ->
+                  Obs.incr h.o_abort;
+                  Obs.incr h.o_retry;
+                  Obs.event h.o_obs ~tag:"abort" reason
+              | None -> ());
               Domain.cpu_relax ();
-              push [ item ] (* retry; [pending] unchanged *))
+              push [ item ] (* retry; [pending] unchanged *)
+          | `Error (e, bt) -> record_failure e bt)
     done
   in
-  let ds = List.init (max 1 (domains - 1)) (fun _ -> Domain.spawn worker) in
-  worker ();
+  let guarded_worker () =
+    (* nothing may escape a worker: an uncaught exception from e.g. a
+       commit hook must also stop the fleet rather than strand it *)
+    try worker () with e -> record_failure e (Printexc.get_raw_backtrace ())
+  in
+  let ds = List.init (max 1 (domains - 1)) (fun _ -> Domain.spawn guarded_worker) in
+  guarded_worker ();
   List.iter Domain.join ds;
+  (match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
   {
     committed = Atomic.get committed;
     aborted = Atomic.get aborted;
     rounds = 0;
     makespan = 0.0;
     total_work = float_of_int (Atomic.get committed + Atomic.get aborted);
-    wall_s = Unix.gettimeofday () -. t0;
+    wall_s = Stats.now_s () -. t0;
   }

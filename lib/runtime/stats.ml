@@ -1,10 +1,17 @@
 (** Measurement helpers: wall-clock timing and the paper's §5 performance
     model [T · o_d / min(a_d, p)]. *)
 
+(** Monotonic wall clock in seconds (CLOCK_MONOTONIC via the bechamel
+    stubs).  [Unix.gettimeofday] is subject to NTP steps — a single step
+    mid-measurement used to corrupt medians and every overhead ratio, so
+    all timing in this repo goes through here.  The epoch is arbitrary:
+    only differences are meaningful. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, now_s () -. t0)
 
 (** Median-of-[reps] timing for less noisy small measurements.  A major
     collection runs before each sample so that garbage from earlier

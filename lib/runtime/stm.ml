@@ -13,6 +13,7 @@
 
 open Commlat_core
 open Commlat_adts
+module Obs = Commlat_obs.Obs
 
 type cell_state = { mutable writer : int option; mutable readers : int list }
 
@@ -23,9 +24,15 @@ type t = {
   mutable cur_reads : int list;
   mutable cur_writes : int list;
   mu : Mutex.t;
+  obs : Obs.t;
+  c_inv : Obs.counter;
+  c_conflicts : Obs.counter;
+  d_reads : Obs.dist;  (** cells read per invocation (with repeats) *)
+  d_writes : Obs.dist;  (** cells written per invocation (with repeats) *)
 }
 
 let make () =
+  let obs = Obs.create "stm" in
   {
     cells = Hashtbl.create 4096;
     touched = Hashtbl.create 64;
@@ -33,6 +40,11 @@ let make () =
     cur_reads = [];
     cur_writes = [];
     mu = Mutex.create ();
+    obs;
+    c_inv = Obs.counter obs "invocations";
+    c_conflicts = Obs.counter obs "conflicts";
+    d_reads = Obs.dist obs "read_set";
+    d_writes = Obs.dist obs "write_set";
   }
 
 (** The tracer to install on the protected ADT(s). *)
@@ -91,16 +103,23 @@ let detector (t : t) : Detector.t =
             inv.Invocation.ret <- r;
             let reads = t.cur_reads and writes = t.cur_writes in
             finish ();
+            Obs.incr t.c_inv;
+            Obs.observe t.d_reads (List.length reads);
+            Obs.observe t.d_writes (List.length writes);
+            let conflict ~with_ kind c =
+              Obs.incr t.c_conflicts;
+              Obs.label t.obs ~cat:"abort_cause" kind;
+              Detector.conflict ~txn ~with_ (Fmt.str "%s on cell %d" kind c)
+            in
             (* register and check writes: exclusive *)
             List.iter
               (fun c ->
                 let s = cell_state t c in
                 (match s.writer with
-                | Some w when w <> txn ->
-                    Detector.conflict ~txn ~with_:w (Fmt.str "w/w on cell %d" c)
+                | Some w when w <> txn -> conflict ~with_:w "w/w" c
                 | _ -> ());
                 (match List.find_opt (fun r' -> r' <> txn) s.readers with
-                | Some r' -> Detector.conflict ~txn ~with_:r' (Fmt.str "r/w on cell %d" c)
+                | Some r' -> conflict ~with_:r' "r/w" c
                 | None -> ());
                 s.writer <- Some txn;
                 note_touched t txn c)
@@ -110,8 +129,7 @@ let detector (t : t) : Detector.t =
               (fun c ->
                 let s = cell_state t c in
                 (match s.writer with
-                | Some w when w <> txn ->
-                    Detector.conflict ~txn ~with_:w (Fmt.str "w/r on cell %d" c)
+                | Some w when w <> txn -> conflict ~with_:w "w/r" c
                 | _ -> ());
                 if not (List.mem txn s.readers) then s.readers <- txn :: s.readers;
                 note_touched t txn c)
@@ -128,6 +146,7 @@ let detector (t : t) : Detector.t =
         Mutex.protect t.mu (fun () ->
             Hashtbl.reset t.cells;
             Hashtbl.reset t.touched));
+    snapshot = (fun () -> Obs.snapshot t.obs);
   }
 
 (** Convenience: a fresh STM with its detector and tracer. *)

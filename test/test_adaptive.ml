@@ -40,6 +40,7 @@ let slow_detector () =
     on_commit = ignore;
     on_abort = ignore;
     reset = ignore;
+    snapshot = Detector.no_snapshot;
   }
 
 let test_picks_the_cheap_candidate () =
@@ -78,6 +79,48 @@ let test_empty_candidates () =
   Alcotest.check_raises "no candidates"
     (Invalid_argument "Adaptive.choose: no candidates") (fun () ->
       ignore (Adaptive.choose ([] : unit Adaptive.candidate list)))
+
+(* a candidate that runs a trivial workload instantly *)
+let trivial name : int Adaptive.candidate =
+  {
+    Adaptive.name;
+    prepare = (fun () -> (Detector.none, (fun _ _ -> []), [ 1; 2; 3 ]));
+  }
+
+let test_duplicate_names_rejected () =
+  (* regression: scoring went through List.assoc on names, so two
+     candidates named the same silently shared the first one's score *)
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Adaptive.choose: duplicate candidate name \"twin\"")
+    (fun () ->
+      ignore (Adaptive.choose ~sample_size:3 [ trivial "twin"; trivial "twin" ]))
+
+let test_empty_name_rejected () =
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Adaptive.choose: empty candidate name") (fun () ->
+      ignore (Adaptive.choose ~sample_size:3 [ trivial "" ]))
+
+let test_scores_are_per_candidate () =
+  (* the slow candidate must carry the worse score even though scoring no
+     longer looks anything up by name *)
+  let mk name slow : int Adaptive.candidate =
+    {
+      Adaptive.name;
+      prepare =
+        (fun () ->
+          let det = if slow then slow_detector () else Detector.none in
+          let acc = Accumulator.create () in
+          let operator (txn : Txn.t) x =
+            Accumulator.invoke_increment det acc ~txn:(Txn.id txn) x;
+            []
+          in
+          (det, operator, List.init 256 Fun.id));
+    }
+  in
+  let d = Adaptive.choose ~sample_size:128 [ mk "slow" true; mk "fast" false ] in
+  let score n = List.assoc n d.Adaptive.scores in
+  check_bool "slow candidate scored worse" true (score "slow" > score "fast");
+  Alcotest.(check string) "winner" "fast" d.Adaptive.winner.Adaptive.name
 
 (* Boruvka: adaptive choice between the general gatekeeper and the STM
    baseline still computes a correct MST. *)
@@ -129,6 +172,11 @@ let suite =
       test_picks_the_cheap_candidate;
     Alcotest.test_case "scores all candidates" `Quick test_scores_all_candidates;
     Alcotest.test_case "rejects empty candidate list" `Quick test_empty_candidates;
+    Alcotest.test_case "rejects duplicate candidate names" `Quick
+      test_duplicate_names_rejected;
+    Alcotest.test_case "rejects empty candidate name" `Quick test_empty_name_rejected;
+    Alcotest.test_case "scores stay with their candidate" `Quick
+      test_scores_are_per_candidate;
     Alcotest.test_case "boruvka adaptive run is correct" `Quick
       test_boruvka_adaptive;
   ]

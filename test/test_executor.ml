@@ -158,6 +158,45 @@ let test_domains_boruvka () =
     (Reference.mst_weight ~n:mesh.Mesh.nodes mesh.Mesh.edges)
     (Boruvka.mst_weight t.Boruvka.mst)
 
+exception Boom
+
+let test_domains_operator_exception () =
+  (* regression: a non-Conflict exception from the operator used to kill
+     one worker inside its critical section while every other domain spun
+     forever on [pending > 0] — this test HANGS on that code.  The fix
+     rolls the poisoned transaction back, stops all workers and re-raises
+     from run_domains after the domains have joined. *)
+  let acc = Accumulator.create () in
+  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let operator det txn x =
+    Accumulator.invoke_increment det acc ~txn:(Txn.id txn) x;
+    Txn.push_undo txn (fun () -> Accumulator.increment acc (-x));
+    if x = 13 then raise Boom;
+    []
+  in
+  (match
+     Executor.run_domains ~domains:3 ~detector:det ~operator
+       (List.init 100 (fun i -> i + 1))
+   with
+  | _ -> Alcotest.fail "operator exception must re-raise from run_domains"
+  | exception Boom -> ())
+
+let test_domains_exception_rolls_back () =
+  (* the poisoned transaction's effects must be undone before the
+     exception escapes: with the poison as only work item, the shared
+     state ends exactly where it started *)
+  let acc = Accumulator.create () in
+  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let operator det txn x =
+    Accumulator.invoke_increment det acc ~txn:(Txn.id txn) x;
+    Txn.push_undo txn (fun () -> Accumulator.increment acc (-x));
+    raise Boom
+  in
+  (match Executor.run_domains ~domains:2 ~detector:det ~operator [ 7 ] with
+  | _ -> Alcotest.fail "operator exception must re-raise from run_domains"
+  | exception Boom -> ());
+  check_int "poisoned increment rolled back" 0 (Accumulator.read acc)
+
 let suite =
   [
     Alcotest.test_case "independent txns: one round" `Quick test_all_commute;
@@ -172,4 +211,8 @@ let suite =
     Alcotest.test_case "domains: accumulator" `Quick test_domains_accumulator;
     Alcotest.test_case "domains: set gatekeeper" `Quick test_domains_set_gatekeeper;
     Alcotest.test_case "domains: boruvka" `Quick test_domains_boruvka;
+    Alcotest.test_case "domains: operator exception re-raised (no livelock)"
+      `Quick test_domains_operator_exception;
+    Alcotest.test_case "domains: operator exception rolls back" `Quick
+      test_domains_exception_rolls_back;
   ]

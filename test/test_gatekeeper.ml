@@ -184,6 +184,35 @@ let test_executor_serializable =
       let final = Value.List (Iset.elements set) in
       History.serializable (Iset.model ()) ~final !recorded)
 
+(* ------------------------------------------------------------- *)
+(* C_m construction                                               *)
+(* ------------------------------------------------------------- *)
+
+(* Pin the C_m log sets computed from the union-find spec: [loser(a,b)]
+   appears in both the (union,union) and (union,find) conditions but must
+   be logged exactly ONCE per union invocation (the dedup used to be
+   quadratic List.mem; this pins the hash-set rewrite to the same
+   contents).  [rep(s1, arg2 ...)] mentions m2, so it is a rollback
+   function, never part of C_m. *)
+let test_cm_union_find () =
+  let uf = Union_find.create () in
+  let _det, gk =
+    Gatekeeper.general ~hooks:(Union_find.hooks uf) (Union_find.spec ())
+  in
+  let open Formula in
+  Alcotest.(check bool)
+    "C_union = { loser(arg1 0, arg1 1) }" true
+    (Gatekeeper.cm_functions gk "union" = [ ("loser", [ arg1 0; arg1 1 ]) ]);
+  Alcotest.(check bool)
+    "C_find = {} (find's conditions need only ret1 or rollback fns)" true
+    (Gatekeeper.cm_functions gk "find" = []);
+  Alcotest.(check bool)
+    "C_create = {}" true
+    (Gatekeeper.cm_functions gk "create" = []);
+  Alcotest.(check bool)
+    "unknown method has empty C_m" true
+    (Gatekeeper.cm_functions gk "no_such_method" = [])
+
 let suite =
   [
     QCheck_alcotest.to_alcotest test_gk_precise;
@@ -197,5 +226,6 @@ let suite =
     Alcotest.test_case "forward rejects GENERAL specs" `Quick
       test_forward_rejects_general;
     QCheck_alcotest.to_alcotest test_executor_serializable;
+    Alcotest.test_case "C_m pinned for union-find" `Quick test_cm_union_find;
   ]
 

@@ -22,4 +22,5 @@ let () =
       ("kvmap", Test_kvmap.suite);
       ("apps", Test_apps.suite);
       ("adaptive", Test_adaptive.suite);
+      ("obs", Test_obs.suite);
     ]

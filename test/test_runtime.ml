@@ -50,6 +50,7 @@ let test_boost_undo_on_post_exec_conflict () =
       on_commit = ignore;
       on_abort = ignore;
       reset = ignore;
+      snapshot = Detector.no_snapshot;
     }
   in
   let set = Iset.create () in
@@ -92,6 +93,7 @@ let test_compose () =
       on_commit = (fun txn -> releases := (name, `C, txn) :: !releases);
       on_abort = (fun txn -> releases := (name, `A, txn) :: !releases);
       reset = ignore;
+      snapshot = Detector.no_snapshot;
     }
   in
   let c = Detector.compose [ mk "a"; mk "b" ] in

@@ -46,7 +46,7 @@ let () =
         (if flow = expected then "(correct)" else "(WRONG!)")
         stats.Executor.committed
         (100.0 *. Executor.abort_ratio stats)
-        stats.Executor.rounds;
+        (Executor.rounds_exn stats);
       assert (flow = expected))
     variants;
 

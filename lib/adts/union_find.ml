@@ -153,20 +153,19 @@ let loser t a b =
 let m_union = Invocation.meth "union" 2
 let m_find = Invocation.meth ~mutates:false ~concrete:true "find" 1
 
-(** A [find] descriptor for clients whose transactions never invoke [find]
-    after one of their own [union]s (e.g. Boruvka once the merged
-    representative is read from the union's write log, {!merge_of}).  Under
-    that discipline compression writes never need undoing, so the method
-    be kept out of the general gatekeeper's rollback log — the paper's
-    union-find gatekeeper makes the same assumption ("undoes the effects of
-    all potentially interfering calls to {e union}").  Why it is sound: an
-    {e admitted} find satisfies [rep(s1,c) != loser(s1,a,b)] against every
-    active union, so its walk never crosses an active attach edge and
-    undoing those unions cannot invalidate its compression writes; a
-    {e conflicting} find has already executed (and may well have crossed
-    the offending edge), so the method stays [concrete] — transaction
-    aborts still undo its writes; and crossing one's {e own} uncommitted
-    union edge is excluded by the discipline. *)
+(** A [find] descriptor whose compression writes stay out of the general
+    gatekeeper's rollback log.  {b Sound only under detectors that never
+    sweep} (abstract locks, forward gatekeepers, the STM baseline): a
+    general gatekeeper running truly concurrent transactions must be able
+    to undo {e committed} mutations too (an older invocation's pre-state
+    [s1] can predate them), and an admitted find may legitimately compress
+    across a committed-but-still-sweepable attach edge — a sweep that
+    cannot undo that compression reconstructs the wrong [s1].  Under the
+    round-based executors every sweepable mutation belonged to an active
+    transaction, no admitted find ever crossed one (that is exactly the
+    [rep(s1,c) != loser(s1,a,b)] condition), and this descriptor was safe
+    with the general gatekeeper as well; with domain concurrency, use
+    {!m_find} there instead. *)
 let m_find_light =
   Invocation.meth ~mutates:false ~concrete:true ~rollback_log:false "find" 1
 
@@ -226,7 +225,30 @@ let exec_logged (t : t) (inv : Invocation.t) =
   t.logging <- false;
   r
 
-(** Restore the concrete state to just before [inv] ran. *)
+(* A parent write whose old value was the cell itself re-pointed a root:
+   that is the union's attach edge.  Every other parent write is path
+   compression (compression never writes a root cell: the walk stops
+   there). *)
+let is_attach w = w.cell = `Parent && w.old_v = w.idx
+
+(** Restore the concrete state to just before [inv] ran.
+
+    Attach writes (re-pointing a root) are replayed unconditionally: no
+    other transaction can write that cell while this union is active —
+    reaching it means crossing the attach edge, which conditions (1)–(2)
+    refuse.  Compression and rank writes are restored {e only if still in
+    place} (the cell still holds the value this write put there), because
+    both CAN be superseded while the writer is live: another transaction's
+    find may legally compress the same parent cell further, and another
+    union into the same winner may legally bump the same rank cell (Fig. 5
+    only guards losers).  Restoring an absolute old value over such a
+    later write would corrupt it — and since the later write stays in the
+    gatekeeper's mutation log, a subsequent sweep's redo would resurrect
+    the clobbered value, skewing every future [loser]/[rep] evaluation.
+    The conditional restore makes rollback a no-op exactly where a
+    surviving write superseded ours.  (Inside a gatekeeper sweep, undo/redo
+    is strictly LIFO, so the conditions always hold and this is the plain
+    replay.) *)
 let undo (t : t) (inv : Invocation.t) =
   match Hashtbl.find_opt t.logs inv.Invocation.uid with
   | None -> ()
@@ -235,8 +257,10 @@ let undo (t : t) (inv : Invocation.t) =
       List.iter
         (fun w ->
           match w.cell with
-          | `Parent -> t.parent.(w.idx) <- w.old_v
-          | `Rank -> t.rank.(w.idx) <- w.old_v)
+          | `Parent when is_attach w -> t.parent.(w.idx) <- w.old_v
+          | `Parent ->
+              if t.parent.(w.idx) = w.new_v then t.parent.(w.idx) <- w.old_v
+          | `Rank -> if t.rank.(w.idx) = w.new_v then t.rank.(w.idx) <- w.old_v)
         writes
 
 (** Re-apply [inv]'s concrete writes (exact redo; no re-execution). *)
@@ -247,8 +271,13 @@ let redo (t : t) (inv : Invocation.t) =
       List.iter
         (fun w ->
           match w.cell with
-          | `Parent -> t.parent.(w.idx) <- w.new_v
-          | `Rank -> t.rank.(w.idx) <- w.new_v)
+          | `Parent when is_attach w -> t.parent.(w.idx) <- w.new_v
+          | `Parent ->
+              (* symmetric to [undo]: re-apply a compression write only if
+                 its pre-state is in place, so a sweep's redo does not
+                 resurrect compression that a concurrent rollback voided *)
+              if t.parent.(w.idx) = w.old_v then t.parent.(w.idx) <- w.new_v
+          | `Rank -> if t.rank.(w.idx) = w.old_v then t.rank.(w.idx) <- w.new_v)
         (List.rev writes)
 
 let forget (t : t) (inv : Invocation.t) = Hashtbl.remove t.logs inv.Invocation.uid

@@ -100,13 +100,15 @@ let full_detector (t : t) (uf_det : Detector.t) : Detector.t =
    detector executes the method, so a post-execution conflict still rolls
    back.  [find] needs this too — path compression writes. *)
 
-(* Finds use the light descriptor: the operator never invokes [find] after
-   its own [union] (the merged representative is read from the union's
-   write log), so compression writes need no undo and stay out of the
-   general gatekeeper's rollback log — see {!Union_find.m_find_light}. *)
+(* Finds use the full descriptor: compression writes go into the general
+   gatekeeper's rollback log so its sweeps can reconstruct any active
+   invocation's pre-state exactly.  The light descriptor
+   ({!Union_find.m_find_light}) is only sound under detectors that never
+   sweep — with truly concurrent domains, an admitted find can compress
+   across a committed-but-still-sweepable attach edge. *)
 let uf_find det (t : t) (txn : Txn.t) x =
   Value.to_int
-    (Boost.invoke det txn ~undo:t.undo_inv Union_find.m_find_light
+    (Boost.invoke det txn ~undo:t.undo_inv Union_find.m_find
        [| Value.Int x |] t.exec_inv)
 
 (* Returns (merged, merge): [merge] is [Some (winner, loser)] when two
@@ -116,10 +118,15 @@ let uf_union det (t : t) (txn : Txn.t) a b =
     Invocation.make ~txn:(Txn.id txn) Union_find.m_union
       [| Value.Int a; Value.Int b |]
   in
+  Txn.register_guards txn det.Detector.guards;
   Txn.push_undo txn (fun () -> t.undo_inv inv);
   let r = det.Detector.on_invoke inv (fun () -> t.exec_inv inv) in
-  (* the write log lives in the base structure either way *)
-  (Value.to_bool r, Union_find.merge_of t.uf inv)
+  (* the write log lives in the base structure either way; read it under
+     the detector's guards — concurrent invocations resize the log table *)
+  let merge =
+    Guard.protect_all det.Detector.guards (fun () -> Union_find.merge_of t.uf inv)
+  in
+  (Value.to_bool r, merge)
 
 (** One transaction: contract one component. The item is a node whose
     component we try to contract; stale items (nodes that are no longer

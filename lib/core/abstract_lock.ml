@@ -215,7 +215,7 @@ type table = {
   scheme : scheme;
   locks : holder list ref Obj_tbl.t;
   held : (int, (lock_obj * holder) list) Hashtbl.t;  (** per txn *)
-  mu : Mutex.t;
+  mu : Guard.t;
   obs : Obs.t;
   c_acq : Obs.counter;  (** fresh lock acquisitions *)
   c_upg : Obs.counter;  (** re-entrant re-acquisitions (count bumps) *)
@@ -228,7 +228,7 @@ let table scheme =
     scheme;
     locks = Obj_tbl.create 1024;
     held = Hashtbl.create 64;
-    mu = Mutex.create ();
+    mu = Guard.create ();
     obs;
     c_acq = Obs.counter obs "lock_acquisitions";
     c_upg = Obs.counter obs "lock_upgrades";
@@ -271,7 +271,7 @@ let acquire_locked t ~txn obj mode =
         ((obj, h) :: Option.value ~default:[] (Hashtbl.find_opt t.held txn))
 
 let release_all t txn =
-  Mutex.protect t.mu (fun () ->
+  Guard.protect t.mu (fun () ->
       (match Hashtbl.find_opt t.held txn with
       | None -> ()
       | Some held ->
@@ -327,7 +327,7 @@ let detector ?(reduce_scheme = true) (spec : Spec.t) : Detector.t =
         (Hashtbl.find_opt compiled inv.Invocation.meth.name)
     in
     Obs.incr c_inv;
-    Mutex.protect t.mu (fun () ->
+    Guard.protect t.mu (fun () ->
         (* before-execution acquisitions: ds lock and argument locks *)
         List.iter
           (fun (mode, after_exec, key) ->
@@ -353,8 +353,9 @@ let detector ?(reduce_scheme = true) (spec : Spec.t) : Detector.t =
     on_abort = (fun txn -> release_all t txn);
     reset =
       (fun () ->
-        Mutex.protect t.mu (fun () ->
+        Guard.protect t.mu (fun () ->
             Obj_tbl.reset t.locks;
             Hashtbl.reset t.held));
     snapshot = (fun () -> Obs.snapshot t.obs);
+    guards = [ t.mu ];
   }

@@ -31,6 +31,13 @@ type t = {
   on_abort : int -> unit;
   reset : unit -> unit;
   snapshot : unit -> Obs.snapshot;
+  guards : Guard.t list;
+      (** the reentrant guards serializing this detector's internal state
+          (and, during [on_invoke], the protected ADT's concrete state).
+          The domain executor takes all of them around a transaction's
+          rollback + [on_abort] so no concurrent sweep or invocation can
+          interleave with the undo log.  Empty for detectors with no
+          internal state. *)
 }
 
 (** A snapshot hook for detectors with nothing to report (ad-hoc test
@@ -51,6 +58,7 @@ let none =
     on_abort = ignore;
     reset = ignore;
     snapshot = (fun () -> Obs.empty "none");
+    guards = [];
   }
 
 (** Compose the transaction-lifecycle view of several detectors, one per
@@ -74,6 +82,7 @@ let compose (ds : t list) : t =
           (Fmt.str "compose(%a)" Fmt.(list ~sep:comma string)
              (List.map (fun d -> d.name) ds))
           (List.map (fun d -> d.snapshot ()) ds));
+    guards = List.concat_map (fun d -> d.guards) ds;
   }
 
 (** Serialize invocations of distinct transactions: the first transaction to
@@ -82,20 +91,20 @@ let compose (ds : t list) : t =
     exclusive lock, paper §4.1); provided directly for convenience. *)
 let global_lock () =
   let owner = ref None in
-  let mu = Mutex.create () in
+  let mu = Guard.create () in
   let obs = Obs.create "global-lock" in
   let c_inv = Obs.counter obs "invocations" in
   let c_acq = Obs.counter obs "lock_acquisitions" in
   let c_deny = Obs.counter obs "lock_denials" in
   let release txn =
-    Mutex.protect mu (fun () ->
+    Guard.protect mu (fun () ->
         match !owner with Some o when o = txn -> owner := None | _ -> ())
   in
   {
     name = "global-lock";
     on_invoke =
       (fun inv exec ->
-        Mutex.protect mu (fun () ->
+        Guard.protect mu (fun () ->
             Obs.incr c_inv;
             (match !owner with
             | Some o when o <> inv.Invocation.txn ->
@@ -114,4 +123,5 @@ let global_lock () =
     on_abort = release;
     reset = (fun () -> owner := None);
     snapshot = (fun () -> Obs.snapshot obs);
+    guards = [ mu ];
   }

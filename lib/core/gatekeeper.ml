@@ -77,7 +77,7 @@ type t = {
   cond_info : (string * string, cond_info) Hashtbl.t;
   mutable mutation_log : Invocation.t list; (* mutating invocations, newest first *)
   mutable seq : int;
-  mu : Mutex.t;
+  mu : Guard.t;
   stats_rollbacks : int ref;
   obs : Obs.t;
   c_invocations : Obs.counter;  (** method invocations intercepted *)
@@ -336,7 +336,7 @@ let make ~allow_rollback hooks spec =
     cond_info = Hashtbl.create 32;
     mutation_log = [];
     seq = 0;
-    mu = Mutex.create ();
+    mu = Guard.create ();
     stats_rollbacks = ref 0;
     obs;
     c_invocations = Obs.counter obs "invocations";
@@ -350,7 +350,7 @@ let make ~allow_rollback hooks spec =
   }
 
 let on_invoke (t : t) (inv : Invocation.t) exec =
-  Mutex.protect t.mu (fun () ->
+  Guard.protect t.mu (fun () ->
       Obs.incr t.c_invocations;
       t.seq <- t.seq + 1;
       inv.Invocation.seq <- t.seq;
@@ -364,6 +364,35 @@ let on_invoke (t : t) (inv : Invocation.t) exec =
       (* ... and ret-dependent ones after it returns (valid for read-only
          methods such as [nearest]; see Spec docs). *)
       populate_log t entry ~post_exec:true;
+      let insert () =
+        let bucket =
+          match Hashtbl.find_opt t.active inv.Invocation.meth.name with
+          | Some b -> b
+          | None ->
+              let b = ref [] in
+              Hashtbl.add t.active inv.Invocation.meth.name b;
+              b
+        in
+        bucket := entry :: !bucket;
+        t.n_active <- t.n_active + 1
+      in
+      (* The method has already executed; if a condition fails below, the
+         transaction is doomed, but its rollback runs later, outside this
+         guard.  Until then no concurrent invocation may observe the
+         refused invocation's own mutation: it is about to be undone, and
+         worse, writes {e derived} from it (a find compressing across a
+         doomed attach edge) would survive the owner's rollback and leave
+         the structure in a state matching no history at all.  A {b
+         general} gatekeeper has undo hooks, so it erases the refused
+         invocation's effects right here, before raising (see the conflict
+         branch below) — nothing lingers and nothing extra needs
+         protecting.  A {b forward} gatekeeper cannot undo, so instead it
+         makes the refused invocation visible: the entry goes into
+         [active] BEFORE the checks (it is filtered out of its own), and
+         until [on_abort] removes it concurrent transactions are admitted
+         only if they commute with it, exactly as they are against the
+         transaction's earlier invocations. *)
+      if not t.allow_rollback then insert ();
       (* Check against every active invocation of other transactions,
          bucketed by method so trivially-true conditions skip whole
          buckets.  First collect the entries whose condition needs state
@@ -398,37 +427,52 @@ let on_invoke (t : t) (inv : Invocation.t) exec =
             Obs.incr t.c_conflicts;
             Obs.label t.obs ~cat:"abort_cause"
               (Fmt.str "%s;%s" e.inv.Invocation.meth.name inv.Invocation.meth.name);
+            if t.allow_rollback then begin
+              (* Erase the refused invocation before the guard releases:
+                 nothing has run since its [exec], so replaying its write
+                 log is an exact LIFO restore.  It leaves the mutation log
+                 too (it never happened), and forgetting its log makes the
+                 transaction rollback's own undo closure for it a no-op. *)
+              t.hooks.undo inv;
+              t.mutation_log <-
+                List.filter
+                  (fun (m : Invocation.t) -> m.uid <> inv.Invocation.uid)
+                  t.mutation_log;
+              t.hooks.forget inv
+            end;
             Detector.conflict ~txn:inv.Invocation.txn ~with_:e.inv.Invocation.txn
               (Fmt.str "%a does not commute with %a" Invocation.pp e.inv
                  Invocation.pp inv)
           end)
         !needs_check;
-      (let bucket =
-         match Hashtbl.find_opt t.active inv.Invocation.meth.name with
-         | Some b -> b
-         | None ->
-             let b = ref [] in
-             Hashtbl.add t.active inv.Invocation.meth.name b;
-             b
-       in
-       bucket := entry :: !bucket;
-       t.n_active <- t.n_active + 1);
+      if t.allow_rollback then insert ();
       r)
 
-let on_end (t : t) txn =
-  Mutex.protect t.mu (fun () ->
+(* End-of-transaction bookkeeping.  [drop_mutations] distinguishes abort
+   from commit: an {e aborted} transaction's mutations were just undone by
+   its rollback, so they leave the log (they never happened); a
+   {e committed} transaction's mutations are history and MUST stay — under
+   true concurrency an older transaction's invocation can still be active,
+   and reconstructing its pre-state [s1] requires undoing every later
+   mutation, committed or not.  (The round-based executor never exposed
+   this: there, every active invocation was newer than every committed
+   mutation.)  [prune] retires committed entries once no active invocation
+   predates them. *)
+let on_end ~drop_mutations (t : t) txn =
+  Guard.protect t.mu (fun () ->
       Hashtbl.iter
         (fun _ bucket ->
           let keep = List.filter (fun e -> e.inv.Invocation.txn <> txn) !bucket in
           t.n_active <- t.n_active - (List.length !bucket - List.length keep);
           bucket := keep)
         t.active;
-      t.mutation_log <-
-        (let keep, drop =
-           List.partition (fun (i : Invocation.t) -> i.txn <> txn) t.mutation_log
-         in
-         List.iter t.hooks.forget drop;
-         keep);
+      if drop_mutations then
+        t.mutation_log <-
+          (let keep, drop =
+             List.partition (fun (i : Invocation.t) -> i.txn <> txn) t.mutation_log
+           in
+           List.iter t.hooks.forget drop;
+           keep);
       prune t)
 
 let rollback_count (t : t) = !(t.stats_rollbacks)
@@ -444,16 +488,17 @@ let detector ~name (t : t) : Detector.t =
   {
     Detector.name;
     on_invoke = (fun inv exec -> on_invoke t inv exec);
-    on_commit = (fun txn -> on_end t txn);
-    on_abort = (fun txn -> on_end t txn);
+    on_commit = (fun txn -> on_end ~drop_mutations:false t txn);
+    on_abort = (fun txn -> on_end ~drop_mutations:true t txn);
     reset =
       (fun () ->
-        Mutex.protect t.mu (fun () ->
+        Guard.protect t.mu (fun () ->
             Hashtbl.reset t.active;
             t.n_active <- 0;
             List.iter t.hooks.forget t.mutation_log;
             t.mutation_log <- []));
     snapshot = (fun () -> Obs.snapshot t.obs);
+    guards = [ t.mu ];
   }
 
 (** Forward gatekeeper (paper §3.3.1).  Requires an ONLINE-CHECKABLE spec;

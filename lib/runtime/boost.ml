@@ -20,11 +20,15 @@ let invoke (det : Detector.t) (txn : Txn.t) ~(undo : Invocation.t -> unit)
     (meth : Invocation.meth) (args : Value.t array)
     (exec : Invocation.t -> Value.t) : Value.t =
   let inv = Invocation.make ~txn:(Txn.id txn) meth args in
+  Txn.register_guards txn det.Detector.guards;
   if meth.Invocation.concrete then Txn.push_undo txn (fun () -> undo inv);
   det.Detector.on_invoke inv (fun () -> exec inv)
 
-(** Read-only invocation: no undo needed. *)
+(** Read-only invocation: no undo needed.  The detector's guards are still
+    registered: the invocation may hold detector state (locks, log entries)
+    that an abort must release atomically. *)
 let invoke_ro (det : Detector.t) (txn : Txn.t) (meth : Invocation.meth)
     (args : Value.t array) (exec : Invocation.t -> Value.t) : Value.t =
   let inv = Invocation.make ~txn:(Txn.id txn) meth args in
+  Txn.register_guards txn det.Detector.guards;
   det.Detector.on_invoke inv (fun () -> exec inv)

@@ -26,26 +26,50 @@ module Obs = Commlat_obs.Obs
 type stats = {
   committed : int;  (** iterations that committed *)
   aborted : int;  (** iteration executions that rolled back *)
-  rounds : int;  (** # of bulk-synchronous rounds = critical path length *)
-  makespan : float;  (** sum over rounds of the max iteration cost *)
-  total_work : float;  (** summed cost of every execution, retries included *)
+  rounds : int option;
+      (** # of bulk-synchronous rounds = critical path length.  [None] for
+          {!run_domains}: a free-running parallel execution has no rounds,
+          and reporting 0 used to make {!parallelism} print
+          [committed /. 1] — an absurd figure. *)
+  makespan : float;
+      (** {!run_rounds}: sum over rounds of the max iteration cost (cost
+          units).  {!run_domains}: real elapsed seconds (= [wall_s]). *)
+  total_work : float;
+      (** {!run_rounds}: summed cost of every execution, retries included
+          (cost units).  {!run_domains}: summed per-domain busy seconds. *)
   wall_s : float;  (** real elapsed seconds *)
 }
 
+let pp_rounds ppf = function
+  | Some r -> Fmt.int ppf r
+  | None -> Fmt.string ppf "-"
+
 let pp_stats ppf s =
   Fmt.pf ppf
-    "committed=%d aborted=%d (abort ratio %.2f%%) rounds=%d makespan=%.0f \
-     total=%.0f wall=%.3fs"
+    "committed=%d aborted=%d (abort ratio %.2f%%) rounds=%a makespan=%g \
+     total=%g wall=%.3fs"
     s.committed s.aborted
     (100.0 *. float_of_int s.aborted /. float_of_int (max 1 (s.committed + s.aborted)))
-    s.rounds s.makespan s.total_work s.wall_s
+    pp_rounds s.rounds s.makespan s.total_work s.wall_s
 
 let abort_ratio s =
   float_of_int s.aborted /. float_of_int (max 1 (s.committed + s.aborted))
 
-(** Average parallelism in the ParaMeter sense: committed iterations per
-    round. *)
-let parallelism s = float_of_int s.committed /. float_of_int (max 1 s.rounds)
+(** The round count of a bulk-synchronous run.  Raises [Invalid_argument]
+    on {!run_domains} stats, which have no rounds. *)
+let rounds_exn s =
+  match s.rounds with
+  | Some r -> r
+  | None -> invalid_arg "Executor.rounds_exn: a domains run has no rounds"
+
+(** Average parallelism.  Bulk-synchronous runs: committed iterations per
+    round (the ParaMeter sense).  Domain runs ([rounds = None]): effective
+    parallelism [total_work /. wall_s] — summed busy seconds over elapsed
+    seconds, at most the domain count. *)
+let parallelism s =
+  match s.rounds with
+  | Some r -> float_of_int s.committed /. float_of_int (max 1 r)
+  | None -> if s.wall_s > 0.0 then s.total_work /. s.wall_s else 0.0
 
 (* ------------------------------------------------------------------ *)
 (* Bulk-synchronous speculative executor                               *)
@@ -165,7 +189,7 @@ let run_rounds ?(processors = 4) ?(cost = fun _ -> 1.0) ?obs
   {
     committed = !committed;
     aborted = !aborted;
-    rounds = !rounds;
+    rounds = Some !rounds;
     makespan = !makespan;
     total_work = !total;
     wall_s = Stats.now_s () -. t0;
@@ -181,111 +205,241 @@ let run_sequential ?cost ?obs ~detector ~operator init =
 (* Domain-based executor                                               *)
 (* ------------------------------------------------------------------ *)
 
-(** Real concurrency on OCaml 5 domains.  Whole operator runs, commits and
-    rollbacks are serialized under one mutex: transactions from different
-    domains never interleave {e within} an operator, but their lock/log
-    lifetimes overlap (locks are released only at the commit step), so
-    cross-domain conflicts, aborts and retries are fully exercised while
-    shared ADT state stays race-free.  [operator] receives the detector it
-    should route invocations through (the same one passed in).
+(* Observability hooks for the domain executor.  Deliberately a different
+   set from {!obs_hooks}: a free-running parallel execution has no rounds,
+   so recording a [rounds] counter or per-round histograms would make
+   `commlat stats` render empty distributions as if no work happened.
+   Those fields are simply absent from domain-run snapshots (the snapshot
+   schema is generic, so `commlat stats --validate` accepts both shapes);
+   instead we record steals and the per-domain commit distribution. *)
+type domain_hooks = {
+  dh_commit : Obs.counter;
+  dh_abort : Obs.counter;
+  dh_retry : Obs.counter;
+  dh_steal : Obs.counter;  (** items taken from another domain's deque *)
+  dh_domain_commits : Obs.dist;  (** one sample per domain: its commits *)
+  dh_obs : Obs.t;
+}
 
-    A non-[Conflict] exception from the operator is a bug in the operator,
-    not speculation: the raising transaction is rolled back, every worker is
-    told to stop, and the exception is re-raised (with its backtrace) after
-    all domains have joined.  Before this, the raising worker died inside
-    its critical section while every other domain spun forever on
-    [pending > 0] — a livelock. *)
+let domain_hooks = function
+  | None -> None
+  | Some obs ->
+      Some
+        {
+          dh_commit = Obs.counter obs "committed";
+          dh_abort = Obs.counter obs "aborted";
+          dh_retry = Obs.counter obs "retries";
+          dh_steal = Obs.counter obs "steals";
+          dh_domain_commits = Obs.dist obs "domain_commits";
+          dh_obs = obs;
+        }
+
+(** Real concurrency on OCaml 5 domains.  There is no global serialization:
+    each worker domain runs operators concurrently, and every shared
+    mutable path is protected by the layer that owns it —
+
+    - {e detector state and the ADT's concrete state}: each detector's
+      internal {!Guard.t} (its [on_invoke] executes the method inside its
+      critical section, so concurrent transactions interleave at
+      method-invocation granularity, exactly the atomicity §2.1 assumes);
+    - {e the undo log}: private to its transaction until an abort, when the
+      executor replays it while holding {e every} involved detector's guard
+      ({!Guard.protect_all} over the transaction's registered guards plus
+      the detector's own), so a concurrent general-gatekeeper undo/redo
+      sweep can never interleave with — and re-apply — writes the rollback
+      is reverting; [on_abort] then re-enters those guards;
+    - {e the work supply}: one {!Wsdeque} per domain (owner pops the front,
+      retries go back to the front, new work to the back; idle domains
+      steal from other deques' backs).
+
+    Termination is exact, not spun-for: [pending] counts queued-or-running
+    items and is updated {e once} per completed item
+    ([fetch_and_add (k-1)] {e before} the [k] children are published, so it
+    never transiently under-counts).  A worker finding every deque empty
+    sleeps on a condition variable, guarded by a wake version number read
+    before it scanned — a publish between scan and sleep changes the
+    version and the sleep is skipped, so wakeups cannot be missed.  The
+    worker that drives [pending] to zero broadcasts, and everyone exits.
+
+    Commit order: the detector's [on_commit] runs first (releasing
+    locks/log entries), then [Txn.commit] discards the undo log, and only
+    then are the commit counters incremented — a raising commit hook finds
+    stats untouched and the undo log intact, so the transaction is rolled
+    back before the failure propagates.
+
+    A non-[Conflict] exception from the operator (or a commit hook) is a
+    bug in the operator, not speculation: the raising transaction is rolled
+    back, every worker is told to stop, and the exception is re-raised
+    (with its backtrace) after all domains have joined.
+
+    Returned stats: [rounds = None] (no rounds exist to count — see
+    {!stats}), [makespan = wall_s], [total_work] = summed per-domain busy
+    seconds, so {!parallelism} reports effective parallelism
+    [total_work /. wall_s]. *)
 let run_domains ?(domains = 2) ?obs ~(detector : Detector.t)
     ~(operator : Detector.t -> Txn.t -> 'w -> 'w list) (init : 'w list) : stats =
-  let oh = obs_hooks obs in
-  let world = Mutex.create () in
+  let dh = domain_hooks obs in
   let det = detector in
   let operator = operator det in
-  let q = Queue.create () in
-  List.iter (fun w -> Queue.add w q) init;
-  let qmu = Mutex.create () in
+  let n = max 1 domains in
+  let deques = Array.init n (fun _ -> Wsdeque.create ()) in
+  List.iteri (fun i w -> Wsdeque.push_back deques.(i mod n) w) init;
   let pending = Atomic.make (List.length init) in
   let committed = Atomic.make 0 and aborted = Atomic.make 0 in
+  let steals = Atomic.make 0 in
   let stop = Atomic.make false in
   let failure = Atomic.make None in
+  (* sleep/wake protocol: [wake] is a version number bumped on every
+     publish; sleepers re-check it (under [idle_mu]) against the value they
+     read before scanning the deques *)
+  let wake = Atomic.make 0 in
+  let idle_mu = Mutex.create () in
+  let idle_cv = Condition.create () in
+  let notify () =
+    Atomic.incr wake;
+    Mutex.protect idle_mu (fun () -> Condition.broadcast idle_cv)
+  in
   let record_failure e bt =
     (* first failure wins; any later ones are secondary casualties *)
     ignore (Atomic.compare_and_set failure None (Some (e, bt)));
-    Atomic.set stop true
+    Atomic.set stop true;
+    notify ()
   in
-  let pop () =
-    Mutex.protect qmu (fun () -> if Queue.is_empty q then None else Some (Queue.pop q))
+  (* Roll a doomed transaction back and release its detector state as ONE
+     step with respect to every detector it touched. *)
+  let abort_atomically txn =
+    Guard.protect_all
+      (Txn.guards txn @ det.Detector.guards)
+      (fun () ->
+        Txn.rollback txn;
+        det.Detector.on_abort (Txn.id txn))
   in
-  let push items =
-    match items with
-    | [] -> ()
-    | _ -> Mutex.protect qmu (fun () -> List.iter (fun w -> Queue.add w q) items)
-  in
+  let domain_commits = Array.make n 0 in
+  let busy = Array.make n 0.0 in
   let t0 = Stats.now_s () in
-  let worker () =
-    let continue = ref true in
-    while !continue && not (Atomic.get stop) do
-      match pop () with
-      | None -> if Atomic.get pending = 0 then continue := false else Domain.cpu_relax ()
-      | Some item -> (
-          let txn = Txn.fresh () in
-          (* the rollback must happen inside the SAME critical section as
-             the operator: if the Conflict exception released the mutex
-             first, another worker's operator could observe the doomed
-             transaction's not-yet-undone effects *)
-          let outcome =
-            Mutex.protect world (fun () ->
-                match operator txn item with
-                | produced -> `Ok produced
-                | exception Detector.Conflict { reason; _ } ->
-                    Txn.rollback txn;
-                    det.Detector.on_abort (Txn.id txn);
-                    `Conflict reason
-                | exception e ->
-                    let bt = Printexc.get_raw_backtrace () in
-                    Txn.rollback txn;
-                    det.Detector.on_abort (Txn.id txn);
-                    `Error (e, bt))
-          in
-          match outcome with
-          | `Ok produced ->
+  let worker me () =
+    let mine = deques.(me) in
+    let steal_one () =
+      let rec go k =
+        if k >= n then None
+        else
+          match Wsdeque.steal deques.((me + k) mod n) with
+          | Some _ as r ->
+              Atomic.incr steals;
+              (match dh with Some h -> Obs.incr h.dh_steal | None -> ());
+              r
+          | None -> go (k + 1)
+      in
+      go 1
+    in
+    (* Consecutive failed attempts by this worker: the retry backoff below
+       scales with it, and any successful commit resets it. *)
+    let setbacks = ref 0 in
+    let process item =
+      let t_item = Stats.now_s () in
+      let txn = Txn.fresh () in
+      (match operator txn item with
+      | produced -> (
+          match
+            det.Detector.on_commit (Txn.id txn);
+            Txn.commit txn
+          with
+          | () ->
+              setbacks := 0;
               Atomic.incr committed;
-              Mutex.protect world (fun () ->
-                  Txn.commit txn;
-                  det.Detector.on_commit (Txn.id txn));
-              (match oh with Some h -> Obs.incr h.o_commit | None -> ());
-              Atomic.fetch_and_add pending (List.length produced) |> ignore;
-              push produced;
-              Atomic.decr pending
-          | `Conflict reason ->
-              Atomic.incr aborted;
-              (match oh with
-              | Some h ->
-                  Obs.incr h.o_abort;
-                  Obs.incr h.o_retry;
-                  Obs.event h.o_obs ~tag:"abort" reason
-              | None -> ());
-              Domain.cpu_relax ();
-              push [ item ] (* retry; [pending] unchanged *)
-          | `Error (e, bt) -> record_failure e bt)
+              domain_commits.(me) <- domain_commits.(me) + 1;
+              (match dh with Some h -> Obs.incr h.dh_commit | None -> ());
+              let k = List.length produced in
+              if k > 0 then begin
+                (* the children replace their parent in [pending] with one
+                   atomic update, BEFORE they are published: the counter
+                   never transiently under-counts queued work, so no worker
+                   can conclude termination early *)
+                ignore (Atomic.fetch_and_add pending (k - 1));
+                Wsdeque.push_back_all mine produced;
+                notify ()
+              end
+              else if Atomic.fetch_and_add pending (-1) = 1 then
+                (* that was the last pending item: wake sleepers to exit *)
+                notify ()
+          | exception e ->
+              (* raising commit hook: stats untouched, undo log intact *)
+              let bt = Printexc.get_raw_backtrace () in
+              abort_atomically txn;
+              record_failure e bt)
+      | exception Detector.Conflict { reason; _ } ->
+          abort_atomically txn;
+          Atomic.incr aborted;
+          (match dh with
+          | Some h ->
+              Obs.incr h.dh_abort;
+              Obs.incr h.dh_retry;
+              Obs.event h.dh_obs ~tag:"abort" reason
+          | None -> ());
+          (* retry-at-front on our own deque; [pending] unchanged.  The
+             item stays with an awake worker, so no notify is needed.
+             Back off before retrying: the transaction we lost to lives on
+             another domain, and with more domains than cores it may be
+             descheduled — burning our whole timeslice re-conflicting with
+             it (and paying a gatekeeper sweep per attempt) starves it of
+             the CPU it needs to finish.  Spin for the first few setbacks,
+             then sleep with capped exponential growth, which yields the
+             processor to the very transaction we are waiting on. *)
+          Wsdeque.push_front mine item;
+          incr setbacks;
+          if !setbacks <= 4 then Domain.cpu_relax ()
+          else
+            Unix.sleepf
+              (min 0.002 (5e-5 *. float_of_int (1 lsl min 10 (!setbacks - 4))))
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          abort_atomically txn;
+          record_failure e bt);
+      busy.(me) <- busy.(me) +. (Stats.now_s () -. t_item)
+    in
+    let running = ref true in
+    while !running && not (Atomic.get stop) do
+      (* read the wake version BEFORE scanning: a publish landing after the
+         scan bumps it, and the sleep check below catches the change *)
+      let v = Atomic.get wake in
+      match Wsdeque.pop mine with
+      | Some item -> process item
+      | None -> (
+          match steal_one () with
+          | Some item -> process item
+          | None ->
+              if Atomic.get pending = 0 then running := false
+              else
+                Mutex.protect idle_mu (fun () ->
+                    if
+                      Atomic.get wake = v
+                      && Atomic.get pending > 0
+                      && not (Atomic.get stop)
+                    then Condition.wait idle_cv idle_mu))
     done
   in
-  let guarded_worker () =
-    (* nothing may escape a worker: an uncaught exception from e.g. a
-       commit hook must also stop the fleet rather than strand it *)
-    try worker () with e -> record_failure e (Printexc.get_raw_backtrace ())
+  let guarded_worker me () =
+    (* nothing may escape a worker: an uncaught exception must stop the
+       fleet rather than strand it *)
+    try worker me () with e -> record_failure e (Printexc.get_raw_backtrace ())
   in
-  let ds = List.init (max 1 (domains - 1)) (fun _ -> Domain.spawn guarded_worker) in
-  guarded_worker ();
+  let ds =
+    List.init (n - 1) (fun i -> Domain.spawn (fun () -> guarded_worker (i + 1) ()))
+  in
+  guarded_worker 0 ();
   List.iter Domain.join ds;
+  (match dh with
+  | Some h -> Array.iter (Obs.observe h.dh_domain_commits) domain_commits
+  | None -> ());
   (match Atomic.get failure with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ());
+  let wall_s = Stats.now_s () -. t0 in
   {
     committed = Atomic.get committed;
     aborted = Atomic.get aborted;
-    rounds = 0;
-    makespan = 0.0;
-    total_work = float_of_int (Atomic.get committed + Atomic.get aborted);
-    wall_s = Stats.now_s () -. t0;
+    rounds = None;
+    makespan = wall_s;
+    total_work = Array.fold_left ( +. ) 0.0 busy;
+    wall_s;
   }

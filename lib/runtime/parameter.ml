@@ -31,7 +31,7 @@ let pp ppf p =
 let profile ?(max_procs = 4096) ~detector ~operator init : profile =
   let s = Executor.run_rounds ~processors:max_procs ~detector ~operator init in
   {
-    critical_path = s.Executor.rounds;
+    critical_path = Executor.rounds_exn s;
     total_iterations = s.Executor.committed;
     parallelism = Executor.parallelism s;
     aborted = s.Executor.aborted;

@@ -23,7 +23,7 @@ type t = {
   mutable current : int;  (** txn whose invocation is executing *)
   mutable cur_reads : int list;
   mutable cur_writes : int list;
-  mu : Mutex.t;
+  mu : Guard.t;
   obs : Obs.t;
   c_inv : Obs.counter;
   c_conflicts : Obs.counter;
@@ -39,7 +39,7 @@ let make () =
     current = -1;
     cur_reads = [];
     cur_writes = [];
-    mu = Mutex.create ();
+    mu = Guard.create ();
     obs;
     c_inv = Obs.counter obs "invocations";
     c_conflicts = Obs.counter obs "conflicts";
@@ -68,7 +68,7 @@ let note_touched t txn c =
   | None -> Hashtbl.add t.touched txn (ref [ c ])
 
 let release (t : t) txn =
-  Mutex.protect t.mu (fun () ->
+  Guard.protect t.mu (fun () ->
       match Hashtbl.find_opt t.touched txn with
       | None -> ()
       | Some l ->
@@ -86,7 +86,7 @@ let release (t : t) txn =
 let detector (t : t) : Detector.t =
   let on_invoke (inv : Invocation.t) exec =
     let txn = inv.Invocation.txn in
-    Mutex.protect t.mu (fun () ->
+    Guard.protect t.mu (fun () ->
         t.current <- txn;
         t.cur_reads <- [];
         t.cur_writes <- [];
@@ -143,10 +143,11 @@ let detector (t : t) : Detector.t =
     on_abort = (fun txn -> release t txn);
     reset =
       (fun () ->
-        Mutex.protect t.mu (fun () ->
+        Guard.protect t.mu (fun () ->
             Hashtbl.reset t.cells;
             Hashtbl.reset t.touched));
     snapshot = (fun () -> Obs.snapshot t.obs);
+    guards = [ t.mu ];
   }
 
 (** Convenience: a fresh STM with its detector and tracer. *)

@@ -3,7 +3,16 @@
 
     A transaction accumulates undo actions as it performs method
     invocations; {!rollback} runs them newest-first, restoring the abstract
-    state the transaction saw when it started. *)
+    state the transaction saw when it started.
+
+    It also accumulates the {!Commlat_core.Guard.t}s of every detector it
+    invoked through ({!register_guards}, called by {!Boost}).  The domain
+    executor takes all of them around [rollback] + [on_abort], making the
+    whole abort one atomic step with respect to each involved detector —
+    without this, a general gatekeeper's undo/redo sweep on another domain
+    could re-apply writes the rollback had just reverted. *)
+
+open Commlat_core
 
 type status = Running | Committed | Aborted
 
@@ -11,16 +20,30 @@ type t = {
   id : int;
   mutable undo : (unit -> unit) list;  (** newest first *)
   mutable status : status;
+  mutable guards : Guard.t list;
+      (** guards of every detector this transaction invoked through *)
 }
 
 let counter = Atomic.make 1
 
-let fresh () = { id = Atomic.fetch_and_add counter 1; undo = []; status = Running }
+let fresh () =
+  { id = Atomic.fetch_and_add counter 1; undo = []; status = Running; guards = [] }
 
 let id t = t.id
 
 (** Register the inverse of an action just performed. *)
 let push_undo t f = t.undo <- f :: t.undo
+
+(** Record that the transaction invoked through a detector owning these
+    guards; duplicates are kept out so the list stays as short as the
+    number of distinct detectors touched. *)
+let register_guards t gs =
+  List.iter (fun g -> if not (List.memq g t.guards) then t.guards <- g :: t.guards) gs
+
+(** Every guard registered so far (undedup'd against other sources; callers
+    combine with the detector's own guard list and {!Guard.protect_all}
+    dedups). *)
+let guards t = t.guards
 
 let commit t =
   t.status <- Committed;

@@ -41,6 +41,7 @@ let slow_detector () =
     on_abort = ignore;
     reset = ignore;
     snapshot = Detector.no_snapshot;
+    guards = [];
   }
 
 let test_picks_the_cheap_candidate () =

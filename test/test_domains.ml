@@ -1,0 +1,347 @@
+(* Tests of the truly-concurrent domain executor: honest stats, commit-hook
+   failure atomicity, guard/deque primitives, and cross-executor
+   equivalence — every conflict scheme must produce the same results under
+   run_domains at 1, 2 and 8 domains as under run_sequential. *)
+
+open Commlat_core
+open Commlat_adts
+open Commlat_runtime
+module Obs = Commlat_obs.Obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------- *)
+(* Guard: reentrancy and multi-guard ordering                     *)
+(* ------------------------------------------------------------- *)
+
+let test_guard_reentrant () =
+  let g = Guard.create () in
+  let r =
+    Guard.protect g (fun () -> Guard.protect g (fun () -> Guard.protect g (fun () -> 42)))
+  in
+  check_int "nested protect returns" 42 r;
+  (* fully released: another domain can take it *)
+  let taken = Domain.spawn (fun () -> Guard.protect g (fun () -> true)) in
+  check_bool "released after nested exits" true (Domain.join taken)
+
+let test_guard_protect_all_dedups () =
+  let g1 = Guard.create () and g2 = Guard.create () in
+  (* duplicates and reverse creation order: still acquires, runs, releases *)
+  let r = Guard.protect_all [ g2; g1; g2; g1 ] (fun () -> Guard.protect g1 (fun () -> 7)) in
+  check_int "protect_all with duplicates" 7 r;
+  let taken = Domain.spawn (fun () -> Guard.protect_all [ g1; g2 ] (fun () -> true)) in
+  check_bool "all released" true (Domain.join taken)
+
+let test_guard_mutual_exclusion () =
+  let g = Guard.create () in
+  let counter = ref 0 in
+  let bump () =
+    for _ = 1 to 5_000 do
+      Guard.protect g (fun () -> counter := !counter + 1)
+    done
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn bump) in
+  bump ();
+  List.iter Domain.join ds;
+  check_int "4 domains x 5000 guarded increments" 20_000 !counter
+
+(* ------------------------------------------------------------- *)
+(* Wsdeque                                                        *)
+(* ------------------------------------------------------------- *)
+
+let test_wsdeque_order () =
+  let d = Wsdeque.create () in
+  Wsdeque.push_back_all d [ 1; 2; 3 ];
+  Wsdeque.push_front d 0;
+  check_int "size" 4 (Wsdeque.size d);
+  (* steal before any pop: a pop migrates the back list to the front, after
+     which thieves and the owner contend on the same end *)
+  Alcotest.(check (option int)) "steal takes the newest-pushed back" (Some 3)
+    (Wsdeque.steal d);
+  Alcotest.(check (option int)) "front pops first" (Some 0) (Wsdeque.pop d);
+  Alcotest.(check (option int)) "then FIFO" (Some 1) (Wsdeque.pop d);
+  Alcotest.(check (option int)) "pop drains the rest" (Some 2) (Wsdeque.pop d);
+  Alcotest.(check (option int)) "empty pop" None (Wsdeque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (Wsdeque.steal d);
+  check_int "empty size" 0 (Wsdeque.size d)
+
+let test_wsdeque_steal_falls_back_to_front () =
+  let d = Wsdeque.create () in
+  Wsdeque.push_front d 1;
+  Alcotest.(check (option int)) "steal from front when back empty" (Some 1)
+    (Wsdeque.steal d)
+
+let test_wsdeque_concurrent_drain () =
+  (* one producer deque, three thieves + the owner: every item taken
+     exactly once *)
+  let d = Wsdeque.create () in
+  let n = 10_000 in
+  Wsdeque.push_back_all d (List.init n Fun.id);
+  let taken = Atomic.make 0 in
+  let drain take () =
+    let rec go () =
+      match take d with
+      | Some _ ->
+          Atomic.incr taken;
+          go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let ds =
+    List.init 3 (fun _ -> Domain.spawn (drain Wsdeque.steal))
+  in
+  drain Wsdeque.pop ();
+  List.iter Domain.join ds;
+  check_int "each item taken exactly once" n (Atomic.get taken);
+  check_int "deque empty" 0 (Wsdeque.size d)
+
+(* ------------------------------------------------------------- *)
+(* Honest stats (satellite: rounds/makespan/parallelism)          *)
+(* ------------------------------------------------------------- *)
+
+let acc_operator acc det (txn : Txn.t) x =
+  Accumulator.invoke_increment det acc ~txn:(Txn.id txn) x;
+  Txn.push_undo txn (fun () -> Accumulator.increment acc (-x));
+  []
+
+let test_domains_stats_honest () =
+  let acc = Accumulator.create () in
+  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let s =
+    Executor.run_domains ~domains:2 ~detector:det
+      ~operator:(fun det txn x -> acc_operator acc det txn x)
+      (List.init 200 (fun i -> i + 1))
+  in
+  check_bool "no rounds exist for a domains run" true (s.Executor.rounds = None);
+  check_bool "rounds_exn refuses to invent one" true
+    (match Executor.rounds_exn s with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "wall clock measured" true (s.Executor.wall_s > 0.0);
+  Alcotest.(check (float 1e-9)) "makespan is the wall clock" s.Executor.wall_s
+    s.Executor.makespan;
+  check_bool "total_work = busy seconds, not a commit count" true
+    (s.Executor.total_work > 0.0
+    && s.Executor.total_work <> float_of_int (s.Executor.committed + s.Executor.aborted));
+  let p = Executor.parallelism s in
+  check_bool "effective parallelism in (0, domains]" true (p > 0.0 && p <= 2.0 +. 1e-6);
+  let rendered = Fmt.str "%a" Executor.pp_stats s in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "pp_stats prints rounds=-" true (contains rendered "rounds=-")
+
+(* ------------------------------------------------------------- *)
+(* Commit-hook failure (satellite: stats counted after commit)    *)
+(* ------------------------------------------------------------- *)
+
+exception Hook_boom
+
+let test_commit_hook_failure_is_atomic () =
+  (* a hook that raises on the 5th commit: the 5th transaction must be
+     rolled back, stats and obs must agree on 4 commits (the old executor
+     counted the commit BEFORE running the hook) *)
+  let obs = Obs.create ~enabled:true "hook" in
+  let acc = Accumulator.create () in
+  let inner = Abstract_lock.detector (Accumulator.spec ()) in
+  let commits = ref 0 in
+  let det =
+    {
+      inner with
+      Detector.name = "poisoned-commit";
+      on_commit =
+        (fun txn ->
+          inner.Detector.on_commit txn;
+          incr commits;
+          if !commits = 5 then raise Hook_boom);
+    }
+  in
+  (match
+     Executor.run_domains ~domains:1 ~obs ~detector:det
+       ~operator:(fun det txn x -> acc_operator acc det txn x)
+       (List.init 10 (fun i -> i + 1))
+   with
+  | _ -> Alcotest.fail "commit-hook exception must re-raise from run_domains"
+  | exception Hook_boom -> ());
+  check_int "poisoned transaction rolled back" 10 (Accumulator.read acc);
+  let snap = Obs.snapshot obs in
+  check_int "obs committed counts only completed commits" 4
+    (Obs.counter_value snap "committed")
+
+(* ------------------------------------------------------------- *)
+(* Cross-executor equivalence                                     *)
+(* ------------------------------------------------------------- *)
+
+let domain_counts = [ 1; 2; 8 ]
+
+(* Add-only contended set workload: set union is confluent, so every
+   serializable execution ends in the same state. *)
+let set_items = List.init 120 (fun i -> i mod 12)
+
+let set_operator set det (txn : Txn.t) (v : int) =
+  let exec (inv : Invocation.t) = Iset.exec set "add" inv.Invocation.args in
+  ignore (Boost.invoke det txn ~undo:(Iset.undo set) Iset.m_add [| Value.Int v |] exec);
+  []
+
+let sorted_elements set = List.sort compare (Iset.elements set)
+
+let set_detectors : (string * (Iset.t -> Detector.t)) list =
+  [
+    ("global-lock", fun _ -> Detector.global_lock ());
+    ("abslock-excl", fun _ -> Abstract_lock.detector (Iset.exclusive_spec ()));
+    ("abslock-rw", fun _ -> Abstract_lock.detector (Iset.simple_spec ()));
+    ( "fwd-gk",
+      fun set -> fst (Gatekeeper.forward ~hooks:(Iset.hooks set) (Iset.precise_spec ())) );
+  ]
+
+let test_set_equivalence () =
+  List.iter
+    (fun (name, mk) ->
+      let ref_set = Iset.create () in
+      let ref_det = mk ref_set in
+      let ref_stats =
+        Executor.run_sequential ~detector:ref_det
+          ~operator:(set_operator ref_set ref_det) set_items
+      in
+      check_int (name ^ ": sequential commits every item") (List.length set_items)
+        ref_stats.Executor.committed;
+      let reference = sorted_elements ref_set in
+      List.iter
+        (fun d ->
+          let set = Iset.create () in
+          let det = mk set in
+          let s =
+            Executor.run_domains ~domains:d ~detector:det
+              ~operator:(fun det txn v -> set_operator set det txn v)
+              set_items
+          in
+          check_int
+            (Fmt.str "%s @ %d domains: same committed multiset" name d)
+            (List.length set_items) s.Executor.committed;
+          check_bool
+            (Fmt.str "%s @ %d domains: same final ADT state" name d)
+            true
+            (sorted_elements set = reference))
+        domain_counts)
+    set_detectors
+
+let test_boruvka_equivalence () =
+  (* general gatekeeper end-to-end: undo/redo sweeps, composed detectors,
+     app-level locks — MST weight must match Kruskal and the sequential
+     executor at every domain count *)
+  let open Commlat_apps in
+  let mesh = Mesh.generate ~rows:8 ~cols:8 () in
+  let expected = Reference.mst_weight ~n:mesh.Mesh.nodes mesh.Mesh.edges in
+  let run_seq () =
+    let t = Boruvka.create ~mesh () in
+    let det, _ =
+      Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ())
+    in
+    ignore
+      (Executor.run_sequential
+         ~detector:(Boruvka.full_detector t det)
+         ~operator:(Boruvka.operator t det)
+         (List.init mesh.Mesh.nodes Fun.id));
+    Boruvka.mst_weight t.Boruvka.mst
+  in
+  check_int "sequential = kruskal" expected (run_seq ());
+  List.iter
+    (fun d ->
+      let t = Boruvka.create ~mesh () in
+      let det, _ =
+        Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ())
+      in
+      ignore
+        (Executor.run_domains ~domains:d
+           ~detector:(Boruvka.full_detector t det)
+           ~operator:(fun _wrapped txn item -> Boruvka.operator t det txn item)
+           (List.init mesh.Mesh.nodes Fun.id));
+      check_int
+        (Fmt.str "gen-gk boruvka @ %d domains = kruskal" d)
+        expected
+        (Boruvka.mst_weight t.Boruvka.mst))
+    domain_counts
+
+let test_stm_equivalence () =
+  (* one traced cell, commutative increments: memory-level detection makes
+     every concurrent pair conflict, hammering the abort/retry path *)
+  let run d =
+    let stm_det, tracer = Stm.create () in
+    let cell = ref 0 in
+    let meth = Invocation.meth "op" 0 in
+    let operator _det (txn : Txn.t) (x : int) =
+      Txn.push_undo txn (fun () -> cell := !cell - x);
+      let inv = Invocation.make ~txn:(Txn.id txn) meth [||] in
+      ignore
+        (stm_det.Detector.on_invoke inv (fun () ->
+             tracer.Mem_trace.read 0;
+             let v = !cell in
+             tracer.Mem_trace.write 0;
+             cell := v + x;
+             Value.Unit));
+      []
+    in
+    let s =
+      Executor.run_domains ~domains:d ~detector:stm_det ~operator
+        (List.init 60 (fun i -> i + 1))
+    in
+    (s.Executor.committed, !cell)
+  in
+  List.iter
+    (fun d ->
+      let committed, total = run d in
+      check_int (Fmt.str "stm @ %d domains: every item commits" d) 60 committed;
+      check_int (Fmt.str "stm @ %d domains: sum exact" d) (60 * 61 / 2) total)
+    domain_counts
+
+let test_stress_retries_and_stealing () =
+  (* 8 domains, a global lock (maximum contention), and operator-generated
+     children: exercises retry-at-front, stealing from sibling deques and
+     the pending-counter termination protocol in one run.  Items are
+     (depth, value) chains; every link increments once. *)
+  let acc = Accumulator.create () in
+  let det = Detector.global_lock () in
+  let depth = 5 in
+  let roots = List.init 16 (fun i -> (depth, i + 1)) in
+  let operator det (txn : Txn.t) (d, v) =
+    Accumulator.invoke_increment det acc ~txn:(Txn.id txn) v;
+    Txn.push_undo txn (fun () -> Accumulator.increment acc (-v));
+    if d > 0 then [ (d - 1, v) ] else []
+  in
+  let obs = Obs.create ~enabled:true "stress" in
+  let s = Executor.run_domains ~domains:8 ~obs ~detector:det ~operator roots in
+  let expected_commits = 16 * (depth + 1) in
+  check_int "every chain link committed" expected_commits s.Executor.committed;
+  check_int "sum exact despite aborts"
+    (List.fold_left (fun a (_, v) -> a + (v * (depth + 1))) 0 roots)
+    (Accumulator.read acc);
+  (* aborts are scheduling-dependent (a single-core machine may serialize
+     the whole run); only their accounting is checked, not their count *)
+  check_bool "abort count non-negative" true (s.Executor.aborted >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "guard: reentrant" `Quick test_guard_reentrant;
+    Alcotest.test_case "guard: protect_all dedups and orders" `Quick
+      test_guard_protect_all_dedups;
+    Alcotest.test_case "guard: mutual exclusion across domains" `Quick
+      test_guard_mutual_exclusion;
+    Alcotest.test_case "wsdeque: order" `Quick test_wsdeque_order;
+    Alcotest.test_case "wsdeque: steal falls back to front" `Quick
+      test_wsdeque_steal_falls_back_to_front;
+    Alcotest.test_case "wsdeque: concurrent drain" `Quick test_wsdeque_concurrent_drain;
+    Alcotest.test_case "domains: honest stats" `Quick test_domains_stats_honest;
+    Alcotest.test_case "domains: raising commit hook is atomic" `Quick
+      test_commit_hook_failure_is_atomic;
+    Alcotest.test_case "equivalence: set schemes x {1,2,8} domains" `Slow
+      test_set_equivalence;
+    Alcotest.test_case "equivalence: boruvka general gatekeeper" `Slow
+      test_boruvka_equivalence;
+    Alcotest.test_case "equivalence: stm" `Slow test_stm_equivalence;
+    Alcotest.test_case "stress: retries, stealing, termination" `Slow
+      test_stress_retries_and_stealing;
+  ]

@@ -20,7 +20,7 @@ let test_all_commute () =
   let det = Abstract_lock.detector (Accumulator.spec ()) in
   let items = List.init 10 (fun i -> i + 1) in
   let s = Executor.run_rounds ~processors:16 ~detector:det ~operator:(acc_operator acc det) items in
-  check_int "one round" 1 s.Executor.rounds;
+  check_int "one round" 1 (Executor.rounds_exn s);
   check_int "no aborts" 0 s.Executor.aborted;
   check_int "all committed" 10 s.Executor.committed;
   check_int "total" 55 (Accumulator.read acc)
@@ -31,7 +31,7 @@ let test_serialized_by_global_lock () =
   let items = List.init 10 (fun i -> i + 1) in
   let s = Executor.run_rounds ~processors:4 ~detector:det ~operator:(acc_operator acc det) items in
   (* each round admits exactly the first txn; the other three abort *)
-  check_int "10 rounds" 10 s.Executor.rounds;
+  check_int "10 rounds" 10 (Executor.rounds_exn s);
   check_bool "aborts happened" true (s.Executor.aborted > 0);
   check_int "total correct despite aborts" 55 (Accumulator.read acc)
 
@@ -45,7 +45,7 @@ let test_first_in_round_commits () =
     Executor.run_rounds ~processors:max_int ~detector:det
       ~operator:(acc_operator acc det) items
   in
-  check_int "50 rounds (1 commit each)" 50 s.Executor.rounds
+  check_int "50 rounds (1 commit each)" 50 (Executor.rounds_exn s)
 
 let test_new_work () =
   (* operator spawns a child item until a depth limit: work counted *)
@@ -65,7 +65,7 @@ let test_cost_accounting () =
       [ 1; 5; 2; 2 ]
   in
   (* rounds: [1;5] [2;2]; makespan = 5 + 2 *)
-  check_int "rounds" 2 s.Executor.rounds;
+  check_int "rounds" 2 (Executor.rounds_exn s);
   Alcotest.(check (float 1e-9)) "makespan" 7.0 s.Executor.makespan;
   Alcotest.(check (float 1e-9)) "total work" 10.0 s.Executor.total_work
 

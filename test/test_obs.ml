@@ -150,11 +150,11 @@ let test_executor_obs_matches_stats () =
   check_int "committed agrees" s.Executor.committed
     (Obs.counter_value snap "committed");
   check_int "aborted agrees" s.Executor.aborted (Obs.counter_value snap "aborted");
-  check_int "rounds agrees" s.Executor.rounds (Obs.counter_value snap "rounds");
+  check_int "rounds agrees" (Executor.rounds_exn s) (Obs.counter_value snap "rounds");
   check_bool "workload actually contended" true (s.Executor.aborted > 0);
   check_bool "abort events traced" true (snap.Obs.events <> []);
   let rc = List.assoc "round_commits" snap.Obs.dists in
-  check_int "round_commits histogram covers every round" s.Executor.rounds
+  check_int "round_commits histogram covers every round" (Executor.rounds_exn s)
     rc.Obs.count;
   check_int "round_commits histogram sums to committed" s.Executor.committed
     rc.Obs.sum
@@ -171,7 +171,19 @@ let test_executor_domains_obs () =
   let snap = Obs.snapshot obs in
   check_int "committed agrees" s.Executor.committed
     (Obs.counter_value snap "committed");
-  check_int "aborted agrees" s.Executor.aborted (Obs.counter_value snap "aborted")
+  check_int "aborted agrees" s.Executor.aborted (Obs.counter_value snap "aborted");
+  check_int "retries agree (one retry per abort)" s.Executor.aborted
+    (Obs.counter_value snap "retries");
+  (* a free-running parallel execution has no rounds: the snapshot must
+     omit the round-based fields entirely, not render them as zeros *)
+  check_bool "no rounds counter" false (List.mem_assoc "rounds" snap.Obs.counters);
+  check_bool "no round_commits histogram" false
+    (List.mem_assoc "round_commits" snap.Obs.dists);
+  check_bool "no round_aborts histogram" false
+    (List.mem_assoc "round_aborts" snap.Obs.dists);
+  let dc = List.assoc "domain_commits" snap.Obs.dists in
+  check_int "domain_commits: one sample per domain" 3 dc.Obs.count;
+  check_int "domain_commits sums to committed" s.Executor.committed dc.Obs.sum
 
 (* ------------------------------------------------------------- *)
 (* Detector wiring                                                *)
@@ -330,7 +342,7 @@ let test_noop_mode_identical_results () =
   let observable (r : Set_micro.result) =
     ( r.Set_micro.stats.Executor.committed,
       r.Set_micro.stats.Executor.aborted,
-      r.Set_micro.stats.Executor.rounds,
+      Executor.rounds_exn r.Set_micro.stats,
       r.Set_micro.abort_pct )
   in
   let run () = Set_micro.run ~threads:4 ~classes:10 ~n:2000 `Rw in

@@ -51,6 +51,7 @@ let test_boost_undo_on_post_exec_conflict () =
       on_abort = ignore;
       reset = ignore;
       snapshot = Detector.no_snapshot;
+      guards = [];
     }
   in
   let set = Iset.create () in
@@ -94,6 +95,7 @@ let test_compose () =
       on_abort = (fun txn -> releases := (name, `A, txn) :: !releases);
       reset = ignore;
       snapshot = Detector.no_snapshot;
+      guards = [];
     }
   in
   let c = Detector.compose [ mk "a"; mk "b" ] in
@@ -120,7 +122,7 @@ let test_empty_worklist () =
       ~operator:(fun _ _ -> [])
       []
   in
-  check_int "no rounds" 0 s.Executor.rounds;
+  check_int "no rounds" 0 (Executor.rounds_exn s);
   check_int "no commits" 0 s.Executor.committed
 
 let test_retry_at_front () =
@@ -172,7 +174,7 @@ let test_stats_invariants =
              items
          in
          s.Executor.committed = List.length items
-         && s.Executor.rounds >= (List.length items + p - 1) / p
+         && Executor.rounds_exn s >= (List.length items + p - 1) / p
          && s.Executor.makespan <= s.Executor.total_work +. 1e-9
          && Executor.parallelism s
             <= (float_of_int p +. 1e-9)))

@@ -98,16 +98,20 @@ let preflow_variants =
   [
     ( "part",
       fun (p : Preflow_push.problem) ->
-        Abstract_lock.detector
-          (Flow_graph.spec_partitioned ~nparts:32 ~n:p.Preflow_push.n ()) );
+        Protect.protect
+          ~spec:(Flow_graph.spec_partitioned ~nparts:32 ~n:p.Preflow_push.n ())
+          ~adt:(Protect.adt ()) Protect.Abstract_lock );
     ( "ex",
       fun (_p : Preflow_push.problem) ->
-        Abstract_lock.detector (Flow_graph.spec_exclusive ()) );
+        Protect.protect
+          ~spec:(Flow_graph.spec_exclusive ())
+          ~adt:(Protect.adt ()) Protect.Abstract_lock );
     ( "ml",
       fun (p : Preflow_push.problem) ->
-        let det, tracer = Stm.create () in
-        Flow_graph.set_tracer p.Preflow_push.g tracer;
-        det );
+        Protect.protect
+          ~spec:(Flow_graph.spec_exclusive ())
+          ~adt:(Protect.adt ~connect_tracer:(Flow_graph.set_tracer p.Preflow_push.g) ())
+          Protect.Stm );
   ]
 
 let preflow_input scale = Genrmf.generate ~a:scale.genrmf_a ~b:scale.genrmf_b ()
@@ -124,14 +128,16 @@ let preflow_profile inp variant_det =
   let prof = Preflow_push.profile ~detector:det p in
   (prof, det.Detector.snapshot ())
 
-let boruvka_mk_detector t = function
-  | `Gk ->
-      fst
-        (Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ()))
-  | `Ml ->
-      let det, tracer = Stm.create () in
-      Union_find.set_tracer t.Boruvka.uf tracer;
-      det
+let boruvka_mk_detector t variant =
+  let adt =
+    Protect.adt
+      ~hooks:(Union_find.hooks t.Boruvka.uf)
+      ~connect_tracer:(Union_find.set_tracer t.Boruvka.uf)
+      ()
+  in
+  match variant with
+  | `Gk -> Protect.protect ~spec:(Union_find.spec ()) ~adt Protect.General_gk
+  | `Ml -> Protect.protect ~spec:(Union_find.spec ()) ~adt Protect.Stm
   | `None -> Detector.none
 
 let boruvka_run ?(processors = 4) mesh variant =
@@ -156,13 +162,16 @@ let boruvka_profile mesh variant =
   in
   (prof, full.Detector.snapshot ())
 
-let clustering_mk_detector t = function
-  | `Gk ->
-      fst (Gatekeeper.forward ~hooks:(Kdtree.hooks t.Clustering.tree) (Kdtree.spec ()))
-  | `Ml ->
-      let det, tracer = Stm.create () in
-      Kdtree.set_tracer t.Clustering.tree tracer;
-      det
+let clustering_mk_detector t variant =
+  let adt =
+    Protect.adt
+      ~hooks:(Kdtree.hooks t.Clustering.tree)
+      ~connect_tracer:(Kdtree.set_tracer t.Clustering.tree)
+      ()
+  in
+  match variant with
+  | `Gk -> Protect.protect ~spec:(Kdtree.spec ()) ~adt Protect.Forward_gk
+  | `Ml -> Protect.protect ~spec:(Kdtree.spec ()) ~adt Protect.Stm
   | `None -> Detector.none
 
 let clustering_run ?(processors = 4) pts variant =
@@ -699,20 +708,26 @@ let bechamel () =
 
    Each (workload, detector, domains) cell reports the best of [reps] runs;
    [speedup_vs_1] is relative to the same pair's 1-domain cell. *)
-let scaling scale =
+let filter_detectors ?detector list =
+  match detector with
+  | None -> list
+  | Some d -> List.filter (fun (name, _) -> name = d) list
+
+let scaling ?detector scale =
   header
     "Scaling: run_domains wall-clock speedup vs 1 domain\n\
      latency workload: 2ms sleep per transaction (overlaps across domains)\n\
      cpu workload: bare set insertions (1-core container: ~1.0x expected)";
   let reps = 3 in
   let detectors =
-    [
-      ( "abslock-rw",
-        fun (_ : Iset.t) -> Abstract_lock.detector (Iset.simple_spec ()) );
-      ( "fwd-gk",
-        fun set ->
-          fst (Gatekeeper.forward ~hooks:(Iset.hooks set) (Iset.precise_spec ())) );
-    ]
+    [ (Protect.Abstract_lock, Iset.simple_spec); (Protect.Forward_gk, Iset.precise_spec) ]
+    |> List.map (fun (scheme, spec) ->
+           ( Protect.scheme_name scheme,
+             fun (set : Iset.t) ->
+               Protect.protect ~spec:(spec ())
+                 ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+                 scheme ))
+    |> filter_detectors ?detector
   in
   let run_cell ~delay ~items mk_det domains =
     let best = ref None in
@@ -784,6 +799,133 @@ let scaling scale =
   json_doc ~experiment:"scaling" ~full:(scale == full_scale) (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Footprint sharding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Sharded vs unsharded forward gatekeeper under real domains.  Each
+   transaction performs [ops_per_txn] mutations on its own disjoint key
+   block, so there are no semantic conflicts and every invocation's cost is
+   dominated by the active-table scan — which footprint sharding cuts from
+   O(active) to O(active / nshards) (each incoming keyed invocation checks
+   only its own shard plus the empty overflow shard).  On a multi-core box
+   the striped per-shard guards additionally let different-key invocations
+   overlap; on the 1-core container the win is the scan reduction.  Rows
+   carry [speedup_vs_unsharded]: same workload and domain count, unsharded
+   wall over this detector's wall. *)
+let sharding ?detector scale =
+  header
+    "Footprint sharding: sharded vs unsharded forward gatekeeper\n\
+     multi-op transactions on disjoint per-transaction key blocks:\n\
+     the active-table scan is the cost, sharding divides it by nshards";
+  let reps = 3 in
+  let ops_per_txn = 32 in
+  let ntxn = max 8 (scale.micro_ops / (8 * ops_per_txn)) in
+  let schemes =
+    [ Protect.Forward_gk; Protect.Sharded (Protect.Forward_gk, Protect.default_nshards) ]
+    |> List.map (fun s -> (Protect.scheme_name s, s))
+    |> filter_detectors ?detector
+  in
+  (* one cell: fresh ADT + detector, [ntxn] transactions of [ops_per_txn]
+     mutations each, best wall of [reps] runs *)
+  let run_cell mk domains =
+    let best = ref None in
+    for _ = 1 to reps do
+      let det, operator = mk () in
+      let stats =
+        Executor.run_domains ~domains ~detector:det ~operator
+          (List.init ntxn Fun.id)
+      in
+      let snap = det.Detector.snapshot () in
+      (match !best with
+      | Some ((s : Executor.stats), _) when s.Executor.wall_s <= stats.Executor.wall_s
+        ->
+          ()
+      | _ -> best := Some (stats, snap));
+      det.Detector.reset ()
+    done;
+    Option.get !best
+  in
+  let set_cell scheme () =
+    let set = Iset.create () in
+    let det =
+      Protect.protect ~spec:(Iset.precise_spec ())
+        ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+        scheme
+    in
+    let operator det txn i =
+      for j = 0 to ops_per_txn - 1 do
+        let v = Value.Int ((i * ops_per_txn) + j) in
+        ignore
+          (Boost.invoke det txn ~undo:(Iset.undo set) Iset.m_add [| v |]
+             (fun (inv : Invocation.t) -> Iset.exec set "add" inv.Invocation.args))
+      done;
+      []
+    in
+    (det, operator)
+  in
+  let kvmap_cell scheme () =
+    let m = Kvmap.create () in
+    let det =
+      Protect.protect ~spec:(Kvmap.precise_spec ())
+        ~adt:(Protect.adt ~hooks:(Kvmap.hooks m) ())
+        scheme
+    in
+    let operator det txn i =
+      for j = 0 to ops_per_txn - 1 do
+        let k = Value.Int ((i * ops_per_txn) + j) in
+        ignore
+          (Boost.invoke det txn ~undo:(Kvmap.undo m) Kvmap.m_put
+             [| k; Value.Int i |] (fun (inv : Invocation.t) ->
+               Kvmap.exec m "put" inv.Invocation.args))
+      done;
+      []
+    in
+    (det, operator)
+  in
+  let workloads = [ ("set", set_cell); ("kvmap", kvmap_cell) ] in
+  pf "%-8s %-20s %-8s %-10s %-10s %-10s@." "workload" "detector" "domains"
+    "wall(s)" "speedup" "aborts";
+  let rows = ref [] in
+  List.iter
+    (fun (wname, cell) ->
+      List.iter
+        (fun domains ->
+          let base = ref None in
+          List.iter
+            (fun (dname, scheme) ->
+              let stats, snap = run_cell (cell scheme) domains in
+              (match scheme with
+              | Protect.Sharded _ -> ()
+              | _ -> base := Some stats.Executor.wall_s);
+              let speedup =
+                match !base with
+                | Some b when stats.Executor.wall_s > 0.0 ->
+                    b /. stats.Executor.wall_s
+                | _ -> 1.0
+              in
+              pf "%-8s %-20s %-8d %-10.4f %-10.2f %-10d@." wname dname domains
+                stats.Executor.wall_s speedup stats.Executor.aborted;
+              rows :=
+                Jsonx.Obj
+                  [
+                    ("workload", Jsonx.Str wname);
+                    ("detector", Jsonx.Str dname);
+                    ("domains", Jsonx.Int domains);
+                    ("txns", Jsonx.Int ntxn);
+                    ("ops_per_txn", Jsonx.Int ops_per_txn);
+                    ("wall_s", Jsonx.Float stats.Executor.wall_s);
+                    ("committed", Jsonx.Int stats.Executor.committed);
+                    ("aborted", Jsonx.Int stats.Executor.aborted);
+                    ("speedup_vs_unsharded", Jsonx.Float speedup);
+                    ("obs", Obs.snapshot_to_json snap);
+                  ]
+                :: !rows)
+            schemes)
+        [ 1; 2; 4; 8 ])
+    workloads;
+  json_doc ~experiment:"sharding" ~full:(scale == full_scale) (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -798,17 +940,19 @@ let () =
   let full = List.mem "--full" args in
   let scale = if full then full_scale else default_scale in
   let args = List.filter (fun a -> a <> "--full") args in
-  let json_file, args =
-    let rec grab acc = function
+  let grab flag args =
+    let rec go acc = function
       | [] -> (None, List.rev acc)
-      | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
-      | [ "--json" ] ->
-          pf "--json needs a file argument@.";
+      | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
+      | [ f ] when f = flag ->
+          pf "%s needs an argument@." flag;
           exit 1
-      | a :: rest -> grab (a :: acc) rest
+      | a :: rest -> go (a :: acc) rest
     in
-    grab [] args
+    go [] args
   in
+  let json_file, args = grab "--json" args in
+  let detector, args = grab "--detector" args in
   let what = match args with [] -> "all" | w :: _ -> w in
   let emit json =
     match json_file with
@@ -832,7 +976,8 @@ let () =
     ignore (fig10 scale);
     ignore (fig11 scale);
     ignore (fig12 scale);
-    ignore (scaling scale);
+    ignore (scaling ?detector scale);
+    ignore (sharding ?detector scale);
     model scale;
     ablation scale;
     bechamel ()
@@ -845,13 +990,14 @@ let () =
   | "fig11" -> emit (json_doc ~experiment:"fig11" ~full (fig11 scale))
   | "fig12" -> emit (json_doc ~experiment:"fig12" ~full (fig12 scale))
   | "figs" -> emit (figs scale)
-  | "scaling" -> emit (scaling scale)
+  | "scaling" -> emit (scaling ?detector scale)
+  | "sharding" -> emit (sharding ?detector scale)
   | "model" -> no_json "model" (fun () -> model scale)
   | "ablation" -> no_json "ablation" (fun () -> ablation scale)
   | "bechamel" -> no_json "bechamel" bechamel
   | other ->
       pf
         "unknown experiment %S; one of \
-         all|table1|table2|fig10|fig11|fig12|figs|scaling|model|ablation|bechamel@."
+         all|table1|table2|fig10|fig11|fig12|figs|scaling|sharding|model|ablation|bechamel@."
         other;
       exit 1

@@ -12,12 +12,35 @@
      commlat stats FILE           render/validate observability snapshots
                                   from bench/main.exe --json output
 
-   Exit codes: 0 success; 1 analysis errors (lint) or domain failures;
-   2 unreadable/unparsable input (with a positioned error message). *)
+   Flag conventions shared with bench/main.exe: [--json FILE] writes the
+   machine-readable form of a subcommand's report next to its text output,
+   and [--detector SCHEME] uses the canonical scheme spellings of
+   {!Commlat_runtime.Protect.scheme_of_string} (global-lock, abslock,
+   fwd-gk, gen-gk, stm, with an optional -sharded[:N] suffix).
+
+   Exit codes: 0 success; 1 analysis errors (lint), validation failures or
+   unsupported detector schemes; 2 unreadable/unparsable input (with a
+   positioned error message). *)
 
 open Commlat_core
+open Commlat_runtime
 open Commlat_analysis
 open Cmdliner
+
+(* Shared exit-code documentation, rendered in every subcommand's --help. *)
+let exits =
+  Cmd.Exit.info 0 ~doc:"on success."
+  :: Cmd.Exit.info 1
+       ~doc:
+         "on analysis errors ($(b,lint)), failed validation ($(b,stats \
+          --validate)), incomparable specifications ($(b,order)), or a \
+          specification outside the requested $(b,--detector) scheme's \
+          logic fragment."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "on unreadable or unparsable input (a positioned error message is \
+          printed on stderr)."
+  :: Cmd.Exit.defaults
 
 let read_file path =
   match
@@ -42,12 +65,69 @@ let spec_file_arg ?(pos = 0) () =
   let p = pos in
   Arg.(required & pos p (some file) None & info [] ~docv:"SPEC" ~doc:"Specification file.")
 
+let write_out path s =
+  match
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc s)
+  with
+  | () -> ()
+  | exception Sys_error msg ->
+      Fmt.epr "%s: cannot write: %s@." path msg;
+      exit 2
+
+(* [--json FILE]: same spelling as bench/main.exe. *)
+let json_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Also write the report as machine-readable JSON to $(docv) (the \
+           same flag spelling as $(b,bench/main.exe --json)).")
+
+(* [--detector SCHEME]: same spellings as bench/main.exe --detector. *)
+let scheme_conv : Protect.scheme Arg.conv =
+  let parse s =
+    match Protect.scheme_of_string s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Protect.scheme_name s))
+
+let detector_arg =
+  Arg.(
+    value
+    & opt (some scheme_conv) None
+    & info [ "detector" ] ~docv:"SCHEME"
+        ~doc:
+          "A detector scheme (canonical spellings: $(b,global-lock), \
+           $(b,abslock), $(b,fwd-gk), $(b,gen-gk), $(b,stm), optionally \
+           with a $(b,-sharded[:N]) suffix — shared with \
+           $(b,bench/main.exe --detector)).")
+
+(* Can [scheme] soundly detect conflicts for a spec of classification
+   [cls]?  Mirrors what Protect.protect would accept. *)
+let rec scheme_admits (cls : Formula.cls) : Protect.scheme -> bool = function
+  | Protect.Global_lock | Protect.Stm | Protect.General_gk -> true
+  | Protect.Abstract_lock -> cls = Formula.Simple
+  | Protect.Forward_gk -> cls <> Formula.General
+  | Protect.Sharded (b, n) -> (
+      n > 0
+      &&
+      match b with
+      | Protect.Abstract_lock | Protect.Forward_gk | Protect.General_gk ->
+          scheme_admits cls b
+      | Protect.Global_lock | Protect.Stm | Protect.Sharded _ -> false)
+
 (* ---- classify ---- *)
 
 let classify_cmd =
-  let run path =
+  let run path json detector =
     let spec = load path in
-    Fmt.pr "spec %s: %a@." (Spec.adt spec) Formula.pp_cls (Spec.classify spec);
+    let cls = Spec.classify spec in
+    Fmt.pr "spec %s: %a@." (Spec.adt spec) Formula.pp_cls cls;
     Fmt.pr "@.per-condition breakdown:@.";
     List.iter
       (fun ((m1, m2), f) ->
@@ -55,21 +135,77 @@ let classify_cmd =
           (Fmt.str "%a" Formula.pp_cls (Formula.classify f))
           Formula.pp f)
       (Spec.pairs spec);
-    Fmt.pr
-      "@.implementation: %s@."
-      (match Spec.classify spec with
+    let scheme_of_cls = function
+      | Formula.Simple -> Protect.Abstract_lock
+      | Formula.Online -> Protect.Forward_gk
+      | Formula.General -> Protect.General_gk
+    in
+    Fmt.pr "@.implementation: %s (scheme %s)@."
+      (match cls with
       | Formula.Simple -> "abstract locking (paper §3.2)"
       | Formula.Online -> "forward gatekeeper (paper §3.3.1)"
       | Formula.General -> "general gatekeeper with state rollback (paper §3.3.2)")
+      (Protect.scheme_name (scheme_of_cls cls));
+    let admits =
+      match detector with
+      | None -> true
+      | Some s ->
+          let ok = scheme_admits cls s in
+          Fmt.pr "detector %s: %s@." (Protect.scheme_name s)
+            (if ok then "supported"
+             else
+               Fmt.str "NOT supported (spec is %a)" Formula.pp_cls cls);
+          ok
+    in
+    (match json with
+    | None -> ()
+    | Some file ->
+        let module J = Commlat_obs.Jsonx in
+        let doc =
+          J.Obj
+            ([
+               ("schema", J.Str "commlat-classify/1");
+               ("adt", J.Str (Spec.adt spec));
+               ("classification", J.Str (Fmt.str "%a" Formula.pp_cls cls));
+               ("scheme", J.Str (Protect.scheme_name (scheme_of_cls cls)));
+               ( "pairs",
+                 J.List
+                   (List.map
+                      (fun ((m1, m2), f) ->
+                        J.Obj
+                          [
+                            ("m1", J.Str m1);
+                            ("m2", J.Str m2);
+                            ( "classification",
+                              J.Str (Fmt.str "%a" Formula.pp_cls (Formula.classify f)) );
+                            ("condition", J.Str (Fmt.str "%a" Formula.pp f));
+                          ])
+                      (Spec.pairs spec)) );
+             ]
+            @
+            match detector with
+            | None -> []
+            | Some s ->
+                [
+                  ("detector", J.Str (Protect.scheme_name s));
+                  ("supported", J.Bool (scheme_admits cls s));
+                ])
+        in
+        write_out file (J.to_string doc));
+    if not admits then exit 1
   in
   Cmd.v
-    (Cmd.info "classify" ~doc:"Classify a specification (SIMPLE / ONLINE-CHECKABLE / GENERAL).")
-    Term.(const run $ spec_file_arg ())
+    (Cmd.info "classify" ~exits
+       ~doc:
+         "Classify a specification (SIMPLE / ONLINE-CHECKABLE / GENERAL). \
+          With $(b,--detector), additionally report whether the given \
+          scheme can implement it (exit 1 if not).")
+    Term.(const run $ spec_file_arg () $ json_file_arg $ detector_arg)
 
 (* ---- matrix ---- *)
 
 let matrix_cmd =
-  let run path reduce =
+  let run path reduce json =
     let spec = load path in
     match Abstract_lock.construct spec with
     | scheme ->
@@ -79,6 +215,31 @@ let matrix_cmd =
           (if reduce then " (reduced)" else "")
           (Abstract_lock.pp_matrix ~only_used:reduce)
           scheme
+        ;
+        (match json with
+        | None -> ()
+        | Some file ->
+            let module J = Commlat_obs.Jsonx in
+            let n = Abstract_lock.n_modes scheme in
+            let doc =
+              J.Obj
+                [
+                  ("schema", J.Str "commlat-matrix/1");
+                  ("adt", J.Str (Spec.adt spec));
+                  ("reduced", J.Bool reduce);
+                  ( "modes",
+                    J.List
+                      (List.init n (fun i ->
+                           J.Str (Abstract_lock.mode_name scheme i))) );
+                  ( "compat",
+                    J.List
+                      (List.init n (fun i ->
+                           J.List
+                             (List.init n (fun j ->
+                                  J.Bool scheme.Abstract_lock.compat.(i).(j))))) );
+                ]
+            in
+            write_out file (J.to_string doc))
     | exception Abstract_lock.Not_simple (m1, m2, f) ->
         Fmt.epr
           "%s is not SIMPLE: condition for (%s, %s) is %a@.No sound and \
@@ -91,13 +252,14 @@ let matrix_cmd =
     Arg.(value & flag & info [ "reduce"; "r" ] ~doc:"Drop superfluous modes (Fig. 8b).")
   in
   Cmd.v
-    (Cmd.info "matrix" ~doc:"Synthesize the abstract-locking scheme of a SIMPLE spec.")
-    Term.(const run $ spec_file_arg () $ reduce)
+    (Cmd.info "matrix" ~exits
+       ~doc:"Synthesize the abstract-locking scheme of a SIMPLE spec.")
+    Term.(const run $ spec_file_arg () $ reduce $ json_file_arg)
 
 (* ---- check ---- *)
 
 let check_cmd =
-  let run path =
+  let run path json =
     let spec = load path in
     (match Spec.validate spec with
     | () -> ()
@@ -130,16 +292,37 @@ let check_cmd =
     if Spec.classify spec <> Formula.Simple then
       Fmt.pr "@.SIMPLE core (lockable strengthening, paper §4.1):@.%a"
         Spec_lang.print_spec
-        (Strengthen.simple_spec ~adt:(Spec.adt spec ^ "_simple") spec)
+        (Strengthen.simple_spec ~adt:(Spec.adt spec ^ "_simple") spec);
+    match json with
+    | None -> ()
+    | Some file ->
+        let module J = Commlat_obs.Jsonx in
+        let doc =
+          J.Obj
+            [
+              ("schema", J.Str "commlat-check/1");
+              ("adt", J.Str (Spec.adt spec));
+              ("methods", J.Int (List.length methods));
+              ("conditions", J.Int (List.length (Spec.pairs spec)));
+              ( "classification",
+                J.Str (Fmt.str "%a" Formula.pp_cls (Spec.classify spec)) );
+              ( "missing_pairs",
+                J.List
+                  (List.rev_map
+                     (fun (a, b) -> J.List [ J.Str a; J.Str b ])
+                     !missing) );
+            ]
+        in
+        write_out file (J.to_string doc)
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Parse and report on a specification.")
-    Term.(const run $ spec_file_arg ())
+    (Cmd.info "check" ~exits ~doc:"Parse and report on a specification.")
+    Term.(const run $ spec_file_arg () $ json_file_arg)
 
 (* ---- lint ---- *)
 
 let lint_cmd =
-  let run paths format chain max_cx =
+  let run paths format chain max_cx json detector =
     (* load everything first: any unreadable/unparsable input is a
        positioned error and exit 2, matching the other subcommands *)
     let sources, parse_errors =
@@ -151,12 +334,37 @@ let lint_cmd =
         ([], []) paths
     in
     let sources = List.rev sources and parse_errors = List.rev parse_errors in
+    (* --detector: flag every spec outside the scheme's logic fragment
+       (e.g. a GENERAL spec under fwd-gk), mirroring what Protect.protect
+       would reject at construction time *)
+    let detector_diags =
+      match detector with
+      | None -> []
+      | Some scheme ->
+          List.filter_map
+            (fun (src : Lint.source) ->
+              let spec = src.Lint.src_spec in
+              let cls = Spec.classify spec in
+              if scheme_admits cls scheme then None
+              else
+                Some
+                  (Diagnostic.make ?file:src.Lint.src_file
+                     ~spec:(Spec.adt spec) ~sev:Diagnostic.Error
+                     ~code:"detector"
+                     "specification is %a, outside scheme %s's fragment"
+                     Formula.pp_cls cls
+                     (Protect.scheme_name scheme)))
+            sources
+    in
     let diags =
       List.concat_map (Lint.analyze ~max_counterexamples:max_cx) sources
       @ (if chain then Lint.analyze_chain sources else [])
-      @ parse_errors
+      @ detector_diags @ parse_errors
     in
     let diags = Diagnostic.sort diags in
+    (match json with
+    | None -> ()
+    | Some file -> write_out file (Diagnostic.list_to_json diags));
     (match format with
     | `Json -> Fmt.pr "%s@." (Diagnostic.list_to_json diags)
     | `Text ->
@@ -202,15 +410,15 @@ let lint_cmd =
           ~doc:"Counterexample traces retained per method pair.")
   in
   Cmd.v
-    (Cmd.info "lint"
+    (Cmd.info "lint" ~exits
        ~doc:
          "Statically analyse specifications: bounded soundness/completeness \
           against the registered reference ADT semantics, structural lints \
           (dead disjuncts, misclassification, asymmetric coverage, \
-          superfluous lock modes), and strengthening-chain validation. Exits \
-          1 if any error-severity diagnostic is reported, 2 on unparsable \
-          input.")
-    Term.(const run $ paths $ format $ chain $ max_cx)
+          superfluous lock modes), strengthening-chain validation, and \
+          $(b,--detector) fragment checks. Exits 1 if any error-severity \
+          diagnostic is reported, 2 on unparsable input.")
+    Term.(const run $ paths $ format $ chain $ max_cx $ json_file_arg $ detector_arg)
 
 (* ---- order ---- *)
 
@@ -232,7 +440,7 @@ let order_cmd =
     exit (if le12 || le21 then 0 else 1)
   in
   Cmd.v
-    (Cmd.info "order" ~doc:"Compare two specifications in the commutativity lattice.")
+    (Cmd.info "order" ~exits ~doc:"Compare two specifications in the commutativity lattice.")
     Term.(const run $ spec_file_arg ~pos:0 () $ spec_file_arg ~pos:1 ())
 
 (* ---- stats ---- *)
@@ -332,7 +540,7 @@ let stats_cmd =
              by $(b,bench/main.exe --json)) instead of rendering it.")
   in
   Cmd.v
-    (Cmd.info "stats"
+    (Cmd.info "stats" ~exits
        ~doc:
          "Render the observability snapshots stored in a benchmark JSON file \
           ($(b,bench/main.exe <exp> --json FILE)), or validate the file's \
@@ -348,7 +556,7 @@ let print_cmd =
     Fmt.pr "%a" Spec_lang.print_spec spec
   in
   Cmd.v
-    (Cmd.info "print" ~doc:"Re-print a specification in canonical form.")
+    (Cmd.info "print" ~exits ~doc:"Re-print a specification in canonical form.")
     Term.(const run $ spec_file_arg ())
 
 let () =

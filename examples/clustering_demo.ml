@@ -10,7 +10,6 @@
    make memory-level detection serialize semantically commuting
    operations. *)
 
-open Commlat_core
 open Commlat_adts
 open Commlat_runtime
 open Commlat_apps
@@ -47,15 +46,17 @@ let () =
     t
   in
 
-  let t =
-    run "kd-gk (forward gatekeeper)" (fun t ->
-        fst (Gatekeeper.forward ~hooks:(Kdtree.hooks t.Clustering.tree) (Kdtree.spec ())))
+  let protect t scheme =
+    Protect.protect ~spec:(Kdtree.spec ())
+      ~adt:
+        (Protect.adt
+           ~hooks:(Kdtree.hooks t.Clustering.tree)
+           ~connect_tracer:(Kdtree.set_tracer t.Clustering.tree)
+           ())
+      scheme
   in
-  ignore
-    (run "kd-ml (STM baseline)" (fun t ->
-         let det, tracer = Stm.create () in
-         Kdtree.set_tracer t.Clustering.tree tracer;
-         det));
+  let t = run "kd-gk (forward gatekeeper)" (fun t -> protect t Protect.Forward_gk) in
+  ignore (run "kd-ml (STM baseline)" (fun t -> protect t Protect.Stm));
 
   pf "@.first five merges of the dendrogram (gatekeeper run):@.";
   List.iteri

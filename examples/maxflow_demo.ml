@@ -8,7 +8,6 @@
    read/write node locks, exclusive node locks and 32-partition locks, and
    checks every flow value against Edmonds-Karp. *)
 
-open Commlat_core
 open Commlat_adts
 open Commlat_runtime
 open Commlat_apps
@@ -30,11 +29,25 @@ let () =
 
   let variants =
     [
-      ("rw node locks (ml)", fun _n -> Abstract_lock.detector (Flow_graph.spec_rw ()));
-      ("exclusive node locks (ex)", fun _n -> Abstract_lock.detector (Flow_graph.spec_exclusive ()));
+      (* all through the unified entry point: only the spec changes *)
+      ( "rw node locks (ml)",
+        fun _n ->
+          Protect.protect ~spec:(Flow_graph.spec_rw ()) ~adt:(Protect.adt ())
+            Protect.Abstract_lock );
+      ( "exclusive node locks (ex)",
+        fun _n ->
+          Protect.protect
+            ~spec:(Flow_graph.spec_exclusive ())
+            ~adt:(Protect.adt ()) Protect.Abstract_lock );
       ( "32-partition locks (part)",
-        fun n -> Abstract_lock.detector (Flow_graph.spec_partitioned ~nparts:32 ~n ()) );
-      ("global lock (bottom)", fun _n -> Detector.global_lock ());
+        fun n ->
+          Protect.protect
+            ~spec:(Flow_graph.spec_partitioned ~nparts:32 ~n ())
+            ~adt:(Protect.adt ()) Protect.Abstract_lock );
+      ( "global lock (bottom)",
+        fun _n ->
+          Protect.protect ~spec:(Flow_graph.spec_exclusive ())
+            ~adt:(Protect.adt ()) Protect.Global_lock );
     ]
   in
   List.iter

@@ -10,7 +10,6 @@
    detection on overhead because path compression makes [find]s collide
    at the concrete level. *)
 
-open Commlat_core
 open Commlat_adts
 open Commlat_runtime
 open Commlat_apps
@@ -45,13 +44,18 @@ let () =
     assert (w = expected)
   in
 
-  run "uf-gk (general gatekeeper)" (fun t ->
-      fst (Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ())));
-  run "uf-ml (STM baseline)" (fun t ->
-      let det, tracer = Stm.create () in
-      Union_find.set_tracer t.Boruvka.uf tracer;
-      det);
-  run "global lock (bottom of lattice)" (fun _ -> Detector.global_lock ());
+  let protect t scheme =
+    Protect.protect ~spec:(Union_find.spec ())
+      ~adt:
+        (Protect.adt
+           ~hooks:(Union_find.hooks t.Boruvka.uf)
+           ~connect_tracer:(Union_find.set_tracer t.Boruvka.uf)
+           ())
+      scheme
+  in
+  run "uf-gk (general gatekeeper)" (fun t -> protect t Protect.General_gk);
+  run "uf-ml (STM baseline)" (fun t -> protect t Protect.Stm);
+  run "global lock (bottom of lattice)" (fun t -> protect t Protect.Global_lock);
 
   pf
     "@.The gatekeeper admits concurrent finds that the STM rejects (path@.\

@@ -9,6 +9,7 @@
 
 open Commlat_core
 open Commlat_adts
+open Commlat_runtime
 
 let pf = Format.printf
 
@@ -41,7 +42,10 @@ let () =
 
   pf "== 4. Running transactions through a detector ==@.@.";
   let set = Iset.create () in
-  let det = Abstract_lock.detector (Iset.simple_spec ()) in
+  let det =
+    Protect.protect ~spec:(Iset.simple_spec ()) ~adt:(Protect.adt ())
+      Protect.Abstract_lock
+  in
   let try_op txn name v =
     match Iset.invoke det set ~txn name (Value.Int v) with
     | r -> pf "  txn %d: %s(%d) -> %b@." txn name v r
@@ -61,7 +65,11 @@ let () =
   pf "@.== 5. The same ops under the PRECISE spec (forward gatekeeper) ==@.@.";
   let set2 = Iset.create () in
   ignore (Iset.add set2 (Value.Int 42));
-  let gk, _ = Gatekeeper.forward ~hooks:(Iset.hooks set2) (Iset.precise_spec ()) in
+  let gk =
+    Protect.protect ~spec:(Iset.precise_spec ())
+      ~adt:(Protect.adt ~hooks:(Iset.hooks set2) ())
+      Protect.Forward_gk
+  in
   let try_op txn name v =
     match Iset.invoke gk set2 ~txn name (Value.Int v) with
     | r -> pf "  txn %d: %s(%d) -> %b@." txn name v r

@@ -15,19 +15,27 @@ open Commlat_core
 open Commlat_adts
 open Commlat_runtime
 
-type scheme = [ `Global | `Exclusive | `Rw | `Gatekeeper ]
+type scheme = [ `Global | `Exclusive | `Rw | `Gatekeeper | `Gatekeeper_sharded ]
 
 let scheme_name = function
   | `Global -> "global-lock"
   | `Exclusive -> "abs-lock-excl"
   | `Rw -> "abs-lock-rw"
   | `Gatekeeper -> "gatekeeper"
+  | `Gatekeeper_sharded -> "gatekeeper-sharded"
 
-let detector_of (set : Iset.t) : scheme -> Detector.t = function
-  | `Global -> Detector.global_lock ()
-  | `Exclusive -> Abstract_lock.detector (Iset.exclusive_spec ())
-  | `Rw -> Abstract_lock.detector (Iset.simple_spec ())
-  | `Gatekeeper -> fst (Gatekeeper.forward ~hooks:(Iset.hooks set) (Iset.precise_spec ()))
+(* Construction goes through the unified {!Protect} entry point; the spec
+   picks the lattice point, the scheme picks the detector family. *)
+let detector_of (set : Iset.t) (s : scheme) : Detector.t =
+  let adt = Protect.adt ~hooks:(Iset.hooks set) () in
+  match s with
+  | `Global -> Protect.protect ~spec:(Iset.exclusive_spec ()) ~adt Protect.Global_lock
+  | `Exclusive -> Protect.protect ~spec:(Iset.exclusive_spec ()) ~adt Protect.Abstract_lock
+  | `Rw -> Protect.protect ~spec:(Iset.simple_spec ()) ~adt Protect.Abstract_lock
+  | `Gatekeeper -> Protect.protect ~spec:(Iset.precise_spec ()) ~adt Protect.Forward_gk
+  | `Gatekeeper_sharded ->
+      Protect.protect ~spec:(Iset.precise_spec ()) ~adt
+        (Protect.Sharded (Protect.Forward_gk, Protect.default_nshards))
 
 type op = { key : Value.t; is_add : bool }
 
@@ -79,4 +87,5 @@ let run ?(threads = 4) ~classes ~n (s : scheme) : result =
     snapshot = det.Detector.snapshot ();
   }
 
-let all_schemes : scheme list = [ `Global; `Exclusive; `Rw; `Gatekeeper ]
+let all_schemes : scheme list =
+  [ `Global; `Exclusive; `Rw; `Gatekeeper; `Gatekeeper_sharded ]

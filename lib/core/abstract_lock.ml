@@ -211,38 +211,81 @@ type holder = { txn : int; mode : int; mutable count : int }
 
 module Obs = Commlat_obs.Obs
 
-type table = {
-  scheme : scheme;
+(* One slice of the lock table.  A lock object lives in exactly one stripe
+   (determined by its key hash; [Ds] gets a dedicated stripe), so
+   acquisitions of footprint-disjoint keys touch different stripes and —
+   under the striped invoke protocol — different guards. *)
+type stripe = {
   locks : holder list ref Obj_tbl.t;
   held : (int, (lock_obj * holder) list) Hashtbl.t;  (** per txn *)
+  sg : Guard.t;
+}
+
+type table = {
+  scheme : scheme;
+  nstripes : int;  (** 0 = unstriped (a single stripe) *)
+  stripes : stripe array;
+      (** length [nstripes + 1] when striped — the last stripe holds the
+          [Ds] lock — else 1 *)
   mu : Guard.t;
+      (** the [exec] guard, serializing the concrete operation only;
+          created {e after} the stripe guards so {!Guard.protect_all}'s
+          canonical id order matches the stripe-then-exec nesting of
+          [on_invoke] *)
   obs : Obs.t;
   c_acq : Obs.counter;  (** fresh lock acquisitions *)
   c_upg : Obs.counter;  (** re-entrant re-acquisitions (count bumps) *)
   c_deny : Obs.counter;  (** incompatible requests (conflicts) *)
 }
 
-let table scheme =
-  let obs = Obs.create (Fmt.str "abslock(%s)" (Spec.adt scheme.spec)) in
+let table ?obs:obs_enabled ?(stripes = 0) scheme =
+  if stripes < 0 then invalid_arg "Abstract_lock.table: stripes must be >= 0";
+  let obs =
+    Obs.create ?enabled:obs_enabled
+      (Fmt.str "abslock%s(%s)"
+         (if stripes > 0 then "-striped" else "")
+         (Spec.adt scheme.spec))
+  in
+  let fresh () =
+    { locks = Obj_tbl.create 256; held = Hashtbl.create 64; sg = Guard.create () }
+  in
+  (* Deliberate [let] sequence: the stripe guards MUST be created before
+     [mu] so their creation ids are smaller.  Creating both inside the
+     record literal would leave the order unspecified (OCaml evaluates
+     record fields right-to-left in practice, giving [mu] the SMALLER id)
+     and invert {!Guard.protect_all}'s canonical order against the
+     stripe-then-exec nesting of [on_invoke] — an ABBA deadlock between an
+     invocation and an atomic abort. *)
+  let slices = Array.init (if stripes = 0 then 1 else stripes + 1) (fun _ -> fresh ()) in
+  let mu = Guard.create () in
   {
     scheme;
-    locks = Obj_tbl.create 1024;
-    held = Hashtbl.create 64;
-    mu = Guard.create ();
+    nstripes = stripes;
+    stripes = slices;
+    mu;
     obs;
     c_acq = Obs.counter obs "lock_acquisitions";
     c_upg = Obs.counter obs "lock_upgrades";
     c_deny = Obs.counter obs "lock_denials";
   }
 
-(* Must be called with [t.mu] held. *)
-let acquire_locked t ~txn obj mode =
+(* The stripe a lock object lives in: [Ds] gets the dedicated last stripe,
+   keys hash across the rest. *)
+let stripe_idx t = function
+  | _ when t.nstripes = 0 -> 0
+  | Ds -> t.nstripes
+  | Key v -> Value.hash v land max_int mod t.nstripes
+
+let stripe_guards t = Array.to_list (Array.map (fun s -> s.sg) t.stripes)
+
+(* Must be called with [obj]'s stripe guard held. *)
+let acquire_locked t (s : stripe) ~txn obj mode =
   let cell =
-    match Obj_tbl.find_opt t.locks obj with
+    match Obj_tbl.find_opt s.locks obj with
     | Some c -> c
     | None ->
         let c = ref [] in
-        Obj_tbl.add t.locks obj c;
+        Obj_tbl.add s.locks obj c;
         c
   in
   List.iter
@@ -267,23 +310,27 @@ let acquire_locked t ~txn obj mode =
       Obs.label t.obs ~cat:"lock_acquire" t.scheme.mode_names.(mode);
       let h = { txn; mode; count = 1 } in
       cell := h :: !cell;
-      Hashtbl.replace t.held txn
-        ((obj, h) :: Option.value ~default:[] (Hashtbl.find_opt t.held txn))
+      Hashtbl.replace s.held txn
+        ((obj, h) :: Option.value ~default:[] (Hashtbl.find_opt s.held txn))
 
+(* A transaction's locks may span stripes, so take every stripe guard. *)
 let release_all t txn =
-  Guard.protect t.mu (fun () ->
-      (match Hashtbl.find_opt t.held txn with
-      | None -> ()
-      | Some held ->
-          List.iter
-            (fun (obj, h) ->
-              match Obj_tbl.find_opt t.locks obj with
-              | None -> ()
-              | Some cell ->
-                  cell := List.filter (fun h' -> h' != h) !cell;
-                  if !cell = [] then Obj_tbl.remove t.locks obj)
-            held);
-      Hashtbl.remove t.held txn)
+  Guard.protect_all (stripe_guards t) (fun () ->
+      Array.iter
+        (fun (s : stripe) ->
+          (match Hashtbl.find_opt s.held txn with
+          | None -> ()
+          | Some held ->
+              List.iter
+                (fun (obj, h) ->
+                  match Obj_tbl.find_opt s.locks obj with
+                  | None -> ()
+                  | Some cell ->
+                      cell := List.filter (fun h' -> h' != h) !cell;
+                      if !cell = [] then Obj_tbl.remove s.locks obj)
+                held);
+          Hashtbl.remove s.held txn)
+        t.stripes)
 
 (* ------------------------------------------------------------------ *)
 (* Detector                                                            *)
@@ -300,12 +347,22 @@ let compile_key (spec : Spec.t) (t : Formula.term) : Invocation.t -> Value.t =
          ~ret:(fun _ -> inv.Invocation.ret)
          ())
 
-(** Build a conflict detector from a SIMPLE specification.  [reduce]
-    (default [true]) applies the superfluous-mode optimization first. *)
-let detector ?(reduce_scheme = true) (spec : Spec.t) : Detector.t =
+(** Build a conflict detector from a SIMPLE specification.  [reduce_scheme]
+    (default [true]) applies the superfluous-mode optimization first.
+
+    [stripes > 0] stripes the lock table: lock objects hash across
+    [stripes] guard-protected slices (plus a dedicated slice for the [Ds]
+    lock), and an invocation takes only the guards of the stripes it
+    acquires locks in — so transactions locking footprint-disjoint keys no
+    longer serialize on one table mutex.  A method with after-execution
+    (return-value) acquisitions takes every stripe guard, since its stripe
+    is unknown before [exec].  The concrete [exec] itself is briefly
+    serialized under a dedicated guard. *)
+let detector ?(reduce_scheme = true) ?(stripes = 0) ?obs (spec : Spec.t) :
+    Detector.t =
   let scheme = construct spec in
   let scheme = if reduce_scheme then reduce scheme else scheme in
-  let t = table scheme in
+  let t = table ?obs ~stripes scheme in
   (* stage the key computations once per method *)
   let compiled :
       (string, (int * bool * (Invocation.t -> Value.t) option) list) Hashtbl.t =
@@ -320,6 +377,7 @@ let detector ?(reduce_scheme = true) (spec : Spec.t) : Detector.t =
            acqs))
     scheme.acquisitions;
   let c_inv = Obs.counter t.obs "invocations" in
+  let all_sgs = stripe_guards t in
   let on_invoke (inv : Invocation.t) exec =
     let txn = inv.Invocation.txn in
     let acqs =
@@ -327,35 +385,60 @@ let detector ?(reduce_scheme = true) (spec : Spec.t) : Detector.t =
         (Hashtbl.find_opt compiled inv.Invocation.meth.name)
     in
     Obs.incr c_inv;
-    Guard.protect t.mu (fun () ->
-        (* before-execution acquisitions: ds lock and argument locks *)
+    (* before-execution acquisitions: ds lock and argument locks.  Their
+       key values (hence stripes) are computable now; return-value locks
+       are not, so a method with after-execution acquisitions pessimistically
+       takes every stripe guard. *)
+    let pre =
+      List.filter_map
+        (fun (mode, after_exec, key) ->
+          if after_exec then None
+          else
+            Some (mode, match key with None -> Ds | Some k -> Key (k inv)))
+        acqs
+    in
+    let has_after = List.exists (fun (_, ae, _) -> ae) acqs in
+    let held_guards =
+      if t.nstripes = 0 || has_after then all_sgs
+      else
+        List.sort_uniq Int.compare
+          (List.map (fun (_, obj) -> stripe_idx t obj) pre)
+        |> List.map (fun i -> t.stripes.(i).sg)
+    in
+    Guard.protect_all held_guards (fun () ->
         List.iter
-          (fun (mode, after_exec, key) ->
-            if not after_exec then
-              let obj = match key with None -> Ds | Some k -> Key (k inv) in
-              acquire_locked t ~txn obj mode)
-          acqs;
-        let r = exec () in
-        inv.Invocation.ret <- r;
+          (fun (mode, obj) ->
+            acquire_locked t t.stripes.(stripe_idx t obj) ~txn obj mode)
+          pre;
+        let r =
+          Guard.protect t.mu (fun () ->
+              let r = exec () in
+              inv.Invocation.ret <- r;
+              r)
+        in
         (* after-execution acquisitions: return-value locks *)
         List.iter
           (fun (mode, after_exec, key) ->
             if after_exec then
               let obj = match key with None -> Ds | Some k -> Key (k inv) in
-              acquire_locked t ~txn obj mode)
+              acquire_locked t t.stripes.(stripe_idx t obj) ~txn obj mode)
           acqs;
         r)
   in
   {
-    Detector.name = Fmt.str "abslock(%s)" (Spec.adt spec);
+    Detector.name =
+      Fmt.str "abslock%s(%s)" (if stripes > 0 then "-striped" else "") (Spec.adt spec);
     on_invoke;
     on_commit = (fun txn -> release_all t txn);
     on_abort = (fun txn -> release_all t txn);
     reset =
       (fun () ->
-        Guard.protect t.mu (fun () ->
-            Obj_tbl.reset t.locks;
-            Hashtbl.reset t.held));
+        Guard.protect_all all_sgs (fun () ->
+            Array.iter
+              (fun (s : stripe) ->
+                Obj_tbl.reset s.locks;
+                Hashtbl.reset s.held)
+              t.stripes));
     snapshot = (fun () -> Obs.snapshot t.obs);
-    guards = [ t.mu ];
+    guards = all_sgs @ [ t.mu ];
   }

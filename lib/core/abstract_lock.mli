@@ -56,7 +56,11 @@ type lock_obj = Ds | Key of Value.t
 
 type table
 
-val table : scheme -> table
+(** Build a runtime lock table.  [stripes > 0] splits it into [stripes]
+    hash slices plus a dedicated slice for the [Ds] lock, each under its
+    own {!Guard.t}, so acquisitions of footprint-disjoint keys do not
+    serialize.  [?obs] enables/disables the observability registry. *)
+val table : ?obs:bool -> ?stripes:int -> scheme -> table
 
 (** Release every lock held by a transaction. *)
 val release_all : table -> int -> unit
@@ -65,5 +69,15 @@ val release_all : table -> int -> unit
 
 (** Build a conflict detector from a SIMPLE specification.
     [reduce_scheme] (default [true]) applies the superfluous-mode
-    optimization first. *)
-val detector : ?reduce_scheme:bool -> Spec.t -> Detector.t
+    optimization first.  [stripes > 0] stripes the lock table (see
+    {!table}): an invocation takes only the stripe guards of the locks it
+    acquires — methods with return-value acquisitions take all of them —
+    and the concrete execution is briefly serialized under a dedicated
+    guard.  Reports exactly the conflicts of the unstriped detector.
+
+    @deprecated Application code should build detectors through
+    {!Commlat_runtime.Protect.protect} (schemes [Abstract_lock] /
+    [Sharded (Abstract_lock, n)]); this stays for detector internals and
+    tests. *)
+val detector :
+  ?reduce_scheme:bool -> ?stripes:int -> ?obs:bool -> Spec.t -> Detector.t

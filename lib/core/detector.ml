@@ -89,10 +89,10 @@ let compose (ds : t list) : t =
     touch the structure owns it until it ends.  This is what the abstract
     locking construction yields for the ⊥ specification (a single global
     exclusive lock, paper §4.1); provided directly for convenience. *)
-let global_lock () =
+let global_lock ?obs:obs_enabled () =
   let owner = ref None in
   let mu = Guard.create () in
-  let obs = Obs.create "global-lock" in
+  let obs = Obs.create ?enabled:obs_enabled "global-lock" in
   let c_inv = Obs.counter obs "invocations" in
   let c_acq = Obs.counter obs "lock_acquisitions" in
   let c_deny = Obs.counter obs "lock_denials" in

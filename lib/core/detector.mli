@@ -59,5 +59,9 @@ val compose : t list -> t
 
 (** A single exclusive lock on the whole structure: the scheme the
     abstract-locking construction yields for the ⊥ specification (paper
-    §4.1). *)
-val global_lock : unit -> t
+    §4.1).
+
+    @deprecated Application code should build detectors through
+    {!Commlat_runtime.Protect.protect} (scheme [Global_lock]); this stays
+    for detector internals and tests. *)
+val global_lock : ?obs:bool -> unit -> t

@@ -223,6 +223,15 @@ let simple_clause = function
       | _ -> None)
   | _ -> None
 
+(** The {e equality footprint} of a condition: the top-level disjuncts of
+    shape [t1 != t2] with [t1] a pure m1-side term and [t2] a pure m2-side
+    term.  If any such clause's two key values differ at runtime the whole
+    condition is trivially [true] — the invocations commute — so
+    invocations whose keys hash to different shards can never conflict
+    through this condition.  This is the static analysis behind
+    {!Footprint} and the sharded gatekeepers. *)
+let footprint_clauses f = List.filter_map simple_clause (disjuncts f)
+
 (** Decompose a SIMPLE formula (L2) into its clauses; [None] if the formula
     is not SIMPLE.  [Some []] means the methods always commute ([true]). *)
 let rec as_simple = function

@@ -116,6 +116,14 @@ val lock_key_side : term -> side option
     (m1-term, m2-term) pair in normalized order. *)
 val simple_clause : t -> (term * term) option
 
+(** The {e equality footprint} of a condition: its top-level disjuncts of
+    shape [t1 != t2] with [t1] a pure m1-side term and [t2] a pure m2-side
+    term (each in normalized (m1, m2) order).  If the two key values of any
+    such clause differ at runtime, the condition is trivially [true] and
+    the invocations commute — the property footprint sharding exploits
+    ({!Footprint}). *)
+val footprint_clauses : t -> (term * term) list
+
 (** Decompose a SIMPLE formula (L2) into its clauses; [None] if the formula
     is not SIMPLE.  [Some []] means the methods always commute.  Note that
     [False] is SIMPLE but returns [None] here — handle it separately. *)

@@ -22,7 +22,21 @@
     in reverse order, every mutating invocation that executed after the
     active one — evaluating, and rolling forward again.  The whole
     intercept/check/execute/log sequence is atomic (one mutex per
-    gatekeeper). *)
+    gatekeeper).
+
+    {b Footprint sharding} ({!forward_sharded}, {!general_sharded}): the
+    active-invocation table is split into [nshards] hash shards keyed by
+    the {!Footprint} analysis plus one {e overflow} shard for invocations
+    of keyless methods.  An incoming keyed invocation is checked only
+    against its own shard and the overflow shard: invocations in other
+    keyed shards have different key values, and the analysis guarantees a
+    disequality clause on exactly those keys discharges every condition
+    between them.  A keyless incoming invocation is checked against every
+    shard.  When the spec needs no rollback and every condition is
+    state-free, the shards are additionally {e striped}: each shard has its
+    own {!Guard.t}, so same-ADT-different-key invocations no longer
+    serialize on one gatekeeper mutex (only the concrete [exec] is briefly
+    serialized, under a dedicated guard). *)
 
 (** How a gatekeeper talks to the data structure it protects. *)
 type hooks = {
@@ -61,23 +75,52 @@ type entry = {
 
 module Obs = Commlat_obs.Obs
 
+(* One slice of the active-invocation table.  An unsharded gatekeeper is a
+   single overflow shard; [s_guard] and [s_muts] are used only in striped
+   mode (coarse mode keeps the gatekeeper-global [mu] and [mutation_log]). *)
+type shard = {
+  s_active : (string, entry list ref) Hashtbl.t;
+      (** active invocations, bucketed by method name so that method pairs
+          whose condition is [true] (e.g. find/find, nearest/nearest) are
+          skipped without touching individual entries *)
+  mutable s_n : int;
+  mutable s_muts : Invocation.t list;
+      (** striped mode: this shard's mutating invocations, newest first —
+          only ever [forget]-bookkeeping, dropped when their transaction
+          ends (striped gatekeepers never reconstruct past states) *)
+  s_guard : Guard.t;
+}
+
 type t = {
   spec : Spec.t;
   hooks : hooks;
   allow_rollback : bool;
   (* C_m: per method, the s1-functions to log, as (name, arg terms). *)
   cm : (string, (string * Formula.term list) list) Hashtbl.t;
-  (* active invocations, bucketed by method name so that method pairs whose
-     condition is [true] (e.g. find/find, nearest/nearest) are skipped
-     without touching individual entries *)
-  active : (string, entry list ref) Hashtbl.t;
-  mutable n_active : int;
+  (* footprint sharding: [fp = None] means unsharded ([nshards = 0], a
+     single overflow shard).  [shards] has length [nshards + 1]; the last
+     element is the overflow shard for keyless invocations. *)
+  fp : Footprint.t option;
+  nshards : int;
+  shards : shard array;
+  striped : bool;
+      (** per-shard guards; requires [not allow_rollback] and every
+          condition state-free (no [Sfun]), so checks need no logs, no
+          live [sfun] and no state reconstruction *)
   (* per ordered method pair: the condition and its rollback-function set,
-     precomputed *)
+     precomputed at construction so the table is read-only at runtime
+     (striped shards evaluate conditions concurrently) *)
   cond_info : (string * string, cond_info) Hashtbl.t;
-  mutable mutation_log : Invocation.t list; (* mutating invocations, newest first *)
-  mutable seq : int;
+  false_info : cond_info;  (** for methods the spec never mentions *)
+  mutable mutation_log : Invocation.t list;
+      (** coarse mode: mutating invocations, newest first *)
+  mutable seq : int;  (** always stamped under [mu] *)
   mu : Guard.t;
+      (** coarse mode: the gatekeeper-global guard.  Striped mode: the
+          [exec] guard, serializing only seq stamping + the concrete
+          operation; created {e after} the shard guards so that
+          {!Guard.protect_all}'s canonical id order matches the
+          shard-then-exec nesting order of {!on_invoke_striped}. *)
   stats_rollbacks : int ref;
   obs : Obs.t;
   c_invocations : Obs.counter;  (** method invocations intercepted *)
@@ -88,6 +131,12 @@ type t = {
   c_rollbacks : Obs.counter;  (** undo/redo sweeps (= [stats_rollbacks]) *)
   c_sfun_at : Obs.counter;  (** past-state queries on persistent ADTs *)
   d_sweep_depth : Obs.dist;  (** mutations undone per sweep *)
+  (* sharding observability (registered only when [nshards > 0]) *)
+  c_shard_inserts : Obs.counter;  (** insertions into keyed shards *)
+  c_overflow_inserts : Obs.counter;  (** insertions into the overflow shard *)
+  c_checks_avoided : Obs.counter;
+      (** active entries skipped because they live in other keyed shards *)
+  c_per_shard : Obs.counter array;  (** per-shard insertion counters *)
 }
 
 and cond_info = {
@@ -120,18 +169,20 @@ let build_cm (spec : Spec.t) =
     (Spec.pairs spec);
   cm
 
+let cond_info_of_formula formula =
+  let rollback_fns =
+    Formula.rollback_functions formula
+    |> List.map (fun (name, args, _) -> (name, args))
+  in
+  { formula; compiled = Formula.compile formula; rollback_fns }
+
+(* The condition table is fully precomputed over the spec's method pairs;
+   an invocation of a method the spec never declared falls back to the
+   (sound) [false] entry. *)
 let cond_info_of (t : t) ~first ~second =
   match Hashtbl.find_opt t.cond_info (first, second) with
   | Some i -> i
-  | None ->
-      let formula = Spec.cond t.spec ~first ~second in
-      let rollback_fns =
-        Formula.rollback_functions formula
-        |> List.map (fun (name, args, _) -> (name, args))
-      in
-      let i = { formula; compiled = Formula.compile formula; rollback_fns } in
-      Hashtbl.add t.cond_info (first, second) i;
-      i
+  | None -> t.false_info
 
 (* Evaluate a pure (state-free) term against one invocation's args/ret. *)
 let eval_m1_term (t : t) (inv : Invocation.t) term =
@@ -292,26 +343,74 @@ let populate_log (t : t) (entry : entry) ~post_exec =
           Hashtbl.replace entry.log (name, args) (t.hooks.sfun name args))
     fns
 
-let prune (t : t) =
-  if t.n_active = 0 then (
-    List.iter t.hooks.forget t.mutation_log;
-    t.mutation_log <- [])
-  else begin
-    let min_seq = ref max_int in
-    Hashtbl.iter
-      (fun _ bucket ->
-        List.iter
-          (fun e -> if e.inv.Invocation.seq < !min_seq then min_seq := e.inv.Invocation.seq)
-          !bucket)
-      t.active;
-    let keep, drop =
-      List.partition (fun (i : Invocation.t) -> i.seq >= !min_seq) t.mutation_log
-    in
-    List.iter t.hooks.forget drop;
-    t.mutation_log <- keep
+(* ------------------------------------------------------------------ *)
+(* Shard plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let overflow_idx t = t.nshards
+
+(* The shard an invocation's entry lives in.  Keyless methods (and every
+   method of an unsharded gatekeeper) go to the overflow shard.  Key terms
+   never mention the return value, so this is computable before [exec]. *)
+let shard_idx (t : t) (inv : Invocation.t) =
+  match t.fp with
+  | None -> overflow_idx t
+  | Some fp -> (
+      match Footprint.shard_of fp ~nshards:t.nshards inv with
+      | Some i -> i
+      | None -> overflow_idx t)
+
+(* The shards an incoming invocation must be checked against: its own plus
+   the overflow shard (keyed), or everything (keyless/unsharded). *)
+let scan_shards (t : t) idx =
+  if idx = overflow_idx t then Array.to_list t.shards
+  else [ t.shards.(idx); t.shards.(overflow_idx t) ]
+
+let n_active t = Array.fold_left (fun acc sh -> acc + sh.s_n) 0 t.shards
+
+let insert_entry (t : t) (sh : shard) entry =
+  let name = entry.inv.Invocation.meth.name in
+  let bucket =
+    match Hashtbl.find_opt sh.s_active name with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.add sh.s_active name b;
+        b
+  in
+  bucket := entry :: !bucket;
+  sh.s_n <- sh.s_n + 1;
+  if t.nshards > 0 then begin
+    if sh == t.shards.(overflow_idx t) then Obs.incr t.c_overflow_inserts
+    else Obs.incr t.c_shard_inserts;
+    match t.c_per_shard with [||] -> () | a -> Obs.incr a.(shard_idx t entry.inv)
   end
 
-let make ~allow_rollback hooks spec =
+let remove_entry (sh : shard) entry =
+  match Hashtbl.find_opt sh.s_active entry.inv.Invocation.meth.name with
+  | None -> ()
+  | Some bucket ->
+      let before = List.length !bucket in
+      bucket := List.filter (fun e -> e != entry) !bucket;
+      sh.s_n <- sh.s_n - (before - List.length !bucket)
+
+(* Entries an incoming invocation skipped: everything active in keyed
+   shards other than the scanned ones.  In striped mode the [s_n] reads on
+   unheld shards are benignly racy (plain int loads feeding a counter). *)
+let record_avoided (t : t) idx =
+  if t.nshards > 0 && idx < overflow_idx t then begin
+    let avoided = ref 0 in
+    Array.iteri
+      (fun i sh -> if i < overflow_idx t && i <> idx then avoided := !avoided + sh.s_n)
+      t.shards;
+    if !avoided > 0 then Obs.add t.c_checks_avoided !avoided
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make ?(nshards = 0) ?obs:obs_enabled ~allow_rollback hooks spec =
   (match Spec.classify spec with
   | Formula.General when not allow_rollback ->
       invalid_arg
@@ -320,23 +419,51 @@ let make ~allow_rollback hooks spec =
             use Gatekeeper.general"
            (Spec.adt spec))
   | _ -> ());
+  if nshards < 0 then invalid_arg "Gatekeeper: nshards must be >= 0";
+  let sharded = nshards > 0 in
+  let striped =
+    sharded && (not allow_rollback)
+    && List.for_all (fun (_, cond) -> Formula.is_state_free cond) (Spec.pairs spec)
+  in
   let obs =
-    Obs.create
-      (Fmt.str "%s-gk(%s)"
+    Obs.create ?enabled:obs_enabled
+      (Fmt.str "%s-gk%s(%s)"
          (if allow_rollback then "gen" else "fwd")
+         (if sharded then "-sharded" else "")
          (Spec.adt spec))
   in
+  let fresh_shard () =
+    { s_active = Hashtbl.create 8; s_n = 0; s_muts = []; s_guard = Guard.create () }
+  in
+  (* shard guards first, [mu] last: protect_all's canonical (creation-id)
+     order then agrees with the shard-guard-then-exec-guard nesting of the
+     striped invoke path, ruling out deadlock against atomic aborts *)
+  let shards = Array.init (nshards + 1) (fun _ -> fresh_shard ()) in
+  let mu = Guard.create () in
+  let cond_info = Hashtbl.create 32 in
+  List.iter
+    (fun (m1 : Invocation.meth) ->
+      List.iter
+        (fun (m2 : Invocation.meth) ->
+          Hashtbl.replace cond_info (m1.name, m2.name)
+            (cond_info_of_formula
+               (Spec.cond spec ~first:m1.name ~second:m2.name)))
+        (Spec.methods spec))
+    (Spec.methods spec);
   {
     spec;
     hooks;
     allow_rollback;
     cm = build_cm spec;
-    active = Hashtbl.create 8;
-    n_active = 0;
-    cond_info = Hashtbl.create 32;
+    fp = (if sharded then Some (Footprint.analyze spec) else None);
+    nshards;
+    shards;
+    striped;
+    cond_info;
+    false_info = cond_info_of_formula Formula.False;
     mutation_log = [];
     seq = 0;
-    mu = Guard.create ();
+    mu;
     stats_rollbacks = ref 0;
     obs;
     c_invocations = Obs.counter obs "invocations";
@@ -347,9 +474,43 @@ let make ~allow_rollback hooks spec =
     c_rollbacks = Obs.counter obs "rollbacks";
     c_sfun_at = Obs.counter obs "sfun_at_queries";
     d_sweep_depth = Obs.dist obs "sweep_depth";
+    c_shard_inserts = Obs.counter obs "shard_inserts";
+    c_overflow_inserts = Obs.counter obs "overflow_inserts";
+    c_checks_avoided = Obs.counter obs "checks_avoided";
+    c_per_shard =
+      (if sharded then
+         Array.init (nshards + 1) (fun i ->
+             Obs.counter obs
+               (if i = nshards then "shard_overflow_inserts"
+                else Fmt.str "shard_%02d_inserts" i))
+       else [||]);
   }
 
-let on_invoke (t : t) (inv : Invocation.t) exec =
+(* ------------------------------------------------------------------ *)
+(* Invocation: coarse (single-guard) path                              *)
+(* ------------------------------------------------------------------ *)
+
+let raise_conflict (t : t) (e : entry) (inv : Invocation.t) =
+  Obs.incr t.c_conflicts;
+  Obs.label t.obs ~cat:"abort_cause"
+    (Fmt.str "%s;%s" e.inv.Invocation.meth.name inv.Invocation.meth.name);
+  if t.allow_rollback then begin
+    (* Erase the refused invocation before the guard releases: nothing has
+       run since its [exec], so replaying its write log is an exact LIFO
+       restore.  It leaves the mutation log too (it never happened), and
+       forgetting its log makes the transaction rollback's own undo closure
+       for it a no-op. *)
+    t.hooks.undo inv;
+    t.mutation_log <-
+      List.filter
+        (fun (m : Invocation.t) -> m.uid <> inv.Invocation.uid)
+        t.mutation_log;
+    t.hooks.forget inv
+  end;
+  Detector.conflict ~txn:inv.Invocation.txn ~with_:e.inv.Invocation.txn
+    (Fmt.str "%a does not commute with %a" Invocation.pp e.inv Invocation.pp inv)
+
+let on_invoke_coarse (t : t) (inv : Invocation.t) exec =
   Guard.protect t.mu (fun () ->
       Obs.incr t.c_invocations;
       t.seq <- t.seq + 1;
@@ -364,18 +525,8 @@ let on_invoke (t : t) (inv : Invocation.t) exec =
       (* ... and ret-dependent ones after it returns (valid for read-only
          methods such as [nearest]; see Spec docs). *)
       populate_log t entry ~post_exec:true;
-      let insert () =
-        let bucket =
-          match Hashtbl.find_opt t.active inv.Invocation.meth.name with
-          | Some b -> b
-          | None ->
-              let b = ref [] in
-              Hashtbl.add t.active inv.Invocation.meth.name b;
-              b
-        in
-        bucket := entry :: !bucket;
-        t.n_active <- t.n_active + 1
-      in
+      let idx = shard_idx t inv in
+      let insert () = insert_entry t t.shards.(idx) entry in
       (* The method has already executed; if a condition fails below, the
          transaction is doomed, but its rollback runs later, outside this
          guard.  Until then no concurrent invocation may observe the
@@ -384,34 +535,39 @@ let on_invoke (t : t) (inv : Invocation.t) exec =
          doomed attach edge) would survive the owner's rollback and leave
          the structure in a state matching no history at all.  A {b
          general} gatekeeper has undo hooks, so it erases the refused
-         invocation's effects right here, before raising (see the conflict
-         branch below) — nothing lingers and nothing extra needs
+         invocation's effects right here, before raising (see
+         {!raise_conflict}) — nothing lingers and nothing extra needs
          protecting.  A {b forward} gatekeeper cannot undo, so instead it
-         makes the refused invocation visible: the entry goes into
-         [active] BEFORE the checks (it is filtered out of its own), and
-         until [on_abort] removes it concurrent transactions are admitted
-         only if they commute with it, exactly as they are against the
-         transaction's earlier invocations. *)
+         makes the refused invocation visible: the entry goes into the
+         active table BEFORE the checks (it is filtered out of its own),
+         and until [on_abort] removes it concurrent transactions are
+         admitted only if they commute with it, exactly as they are against
+         the transaction's earlier invocations. *)
       if not t.allow_rollback then insert ();
-      (* Check against every active invocation of other transactions,
-         bucketed by method so trivially-true conditions skip whole
-         buckets.  First collect the entries whose condition needs state
-         reconstruction, so all their rollback functions are evaluated in a
-         single reverse-chronological sweep (the paper's union-find
-         gatekeeper batches its rollback the same way). *)
+      (* Check against every active invocation of other transactions in the
+         shards this invocation can conflict with, bucketed by method so
+         trivially-true conditions skip whole buckets.  First collect the
+         entries whose condition needs state reconstruction, so all their
+         rollback functions are evaluated in a single reverse-chronological
+         sweep (the paper's union-find gatekeeper batches its rollback the
+         same way). *)
+      record_avoided t idx;
       let needs_check = ref [] in
-      Hashtbl.iter
-        (fun first bucket ->
-          let info = cond_info_of t ~first ~second:inv.Invocation.meth.name in
-          match info.formula with
-          | Formula.True -> ()
-          | _ ->
-              List.iter
-                (fun (e : entry) ->
-                  if e.inv.Invocation.txn <> inv.Invocation.txn then
-                    needs_check := (e, info) :: !needs_check)
-                !bucket)
-        t.active;
+      List.iter
+        (fun (sh : shard) ->
+          Hashtbl.iter
+            (fun first bucket ->
+              let info = cond_info_of t ~first ~second:inv.Invocation.meth.name in
+              match info.formula with
+              | Formula.True -> ()
+              | _ ->
+                  List.iter
+                    (fun (e : entry) ->
+                      if e.inv.Invocation.txn <> inv.Invocation.txn then
+                        needs_check := (e, info) :: !needs_check)
+                    !bucket)
+            sh.s_active)
+        (scan_shards t idx);
       let rb_caches = rollback_sweep t inv !needs_check in
       List.iter
         (fun ((e : entry), info) ->
@@ -423,30 +579,122 @@ let on_invoke (t : t) (inv : Invocation.t) exec =
                 let rb_cache = Hashtbl.find_opt rb_caches e.inv.Invocation.uid in
                 info.compiled (check_env t e inv ~rb_cache)
           in
-          if not ok then begin
-            Obs.incr t.c_conflicts;
-            Obs.label t.obs ~cat:"abort_cause"
-              (Fmt.str "%s;%s" e.inv.Invocation.meth.name inv.Invocation.meth.name);
-            if t.allow_rollback then begin
-              (* Erase the refused invocation before the guard releases:
-                 nothing has run since its [exec], so replaying its write
-                 log is an exact LIFO restore.  It leaves the mutation log
-                 too (it never happened), and forgetting its log makes the
-                 transaction rollback's own undo closure for it a no-op. *)
-              t.hooks.undo inv;
-              t.mutation_log <-
-                List.filter
-                  (fun (m : Invocation.t) -> m.uid <> inv.Invocation.uid)
-                  t.mutation_log;
-              t.hooks.forget inv
-            end;
-            Detector.conflict ~txn:inv.Invocation.txn ~with_:e.inv.Invocation.txn
-              (Fmt.str "%a does not commute with %a" Invocation.pp e.inv
-                 Invocation.pp inv)
-          end)
+          if not ok then raise_conflict t e inv)
         !needs_check;
       if t.allow_rollback then insert ();
       r)
+
+(* ------------------------------------------------------------------ *)
+(* Invocation: striped path                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-shard guards.  A keyed invocation holds only its own shard's guard;
+   a keyless one holds every shard guard.  The overflow shard can be read
+   under any single shard guard, because every overflow {e mutator} — a
+   keyless insert, or the all-shard sweep of {!on_end} / [reset] — holds
+   all the guards, including the reader's.  The concrete [exec] (and seq
+   stamping) is serialized under [t.mu], nested innermost; [t.mu] was
+   created after the shard guards, so this nesting agrees with
+   {!Guard.protect_all}'s canonical order and atomic aborts cannot
+   deadlock against invocations.
+
+   Soundness of the insert-BEFORE-exec protocol: while an invocation holds
+   its shard guard(s), no other invocation that could conflict with it can
+   be anywhere inside its own insert/exec/check section (they share a
+   guard), so every entry it observes is complete (executed, earlier seq)
+   and every pair of potentially conflicting invocations is checked by
+   whichever of the two entered its guarded section last. *)
+let on_invoke_striped (t : t) (inv : Invocation.t) exec =
+  Obs.incr t.c_invocations;
+  let idx = shard_idx t inv in
+  let sh = t.shards.(idx) in
+  let keyed = idx < overflow_idx t in
+  let held =
+    if keyed then [ sh.s_guard ]
+    else Array.to_list (Array.map (fun s -> s.s_guard) t.shards)
+  in
+  Guard.protect_all held (fun () ->
+      let entry = { inv; log = Hashtbl.create 1 } in
+      insert_entry t sh entry;
+      let r =
+        try
+          Guard.protect t.mu (fun () ->
+              t.seq <- t.seq + 1;
+              inv.Invocation.seq <- t.seq;
+              let r = exec () in
+              inv.Invocation.ret <- r;
+              if inv.Invocation.meth.rollback_log then
+                sh.s_muts <- inv :: sh.s_muts;
+              r)
+        with e ->
+          (* a raising [exec] is an ADT/operator failure, not a conflict:
+             withdraw the entry so the table only ever holds invocations
+             that actually ran *)
+          remove_entry sh entry;
+          raise e
+      in
+      record_avoided t idx;
+      (* conditions are state-free: evaluate directly, no logs, no sweeps *)
+      List.iter
+        (fun (s : shard) ->
+          Hashtbl.iter
+            (fun first bucket ->
+              let info = cond_info_of t ~first ~second:inv.Invocation.meth.name in
+              match info.formula with
+              | Formula.True -> ()
+              | _ ->
+                  List.iter
+                    (fun (e : entry) ->
+                      if e.inv.Invocation.txn <> inv.Invocation.txn then begin
+                        Obs.incr t.c_checks;
+                        let ok =
+                          match info.formula with
+                          | Formula.False -> false
+                          | _ -> info.compiled (check_env t e inv ~rb_cache:None)
+                        in
+                        if not ok then raise_conflict t e inv
+                      end)
+                    !bucket)
+            s.s_active)
+        (scan_shards t idx);
+      r)
+
+let on_invoke (t : t) (inv : Invocation.t) exec =
+  if t.striped then on_invoke_striped t inv exec else on_invoke_coarse t inv exec
+
+(* ------------------------------------------------------------------ *)
+(* End of transaction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let prune (t : t) =
+  if n_active t = 0 then (
+    List.iter t.hooks.forget t.mutation_log;
+    t.mutation_log <- [])
+  else begin
+    let min_seq = ref max_int in
+    Array.iter
+      (fun (sh : shard) ->
+        Hashtbl.iter
+          (fun _ bucket ->
+            List.iter
+              (fun e -> if e.inv.Invocation.seq < !min_seq then min_seq := e.inv.Invocation.seq)
+              !bucket)
+          sh.s_active)
+      t.shards;
+    let keep, drop =
+      List.partition (fun (i : Invocation.t) -> i.seq >= !min_seq) t.mutation_log
+    in
+    List.iter t.hooks.forget drop;
+    t.mutation_log <- keep
+  end
+
+let drop_txn_entries (sh : shard) txn =
+  Hashtbl.iter
+    (fun _ bucket ->
+      let keep = List.filter (fun e -> e.inv.Invocation.txn <> txn) !bucket in
+      sh.s_n <- sh.s_n - (List.length !bucket - List.length keep);
+      bucket := keep)
+    sh.s_active
 
 (* End-of-transaction bookkeeping.  [drop_mutations] distinguishes abort
    from commit: an {e aborted} transaction's mutations were just undone by
@@ -457,32 +705,55 @@ let on_invoke (t : t) (inv : Invocation.t) exec =
    mutation, committed or not.  (The round-based executor never exposed
    this: there, every active invocation was newer than every committed
    mutation.)  [prune] retires committed entries once no active invocation
-   predates them. *)
+   predates them.
+
+   Striped gatekeepers never reconstruct, so a transaction's mutations are
+   forgotten as soon as it ends, commit or abort (an abort's rollback has
+   already run by the time [on_abort] gets here). *)
 let on_end ~drop_mutations (t : t) txn =
-  Guard.protect t.mu (fun () ->
-      Hashtbl.iter
-        (fun _ bucket ->
-          let keep = List.filter (fun e -> e.inv.Invocation.txn <> txn) !bucket in
-          t.n_active <- t.n_active - (List.length !bucket - List.length keep);
-          bucket := keep)
-        t.active;
-      if drop_mutations then
-        t.mutation_log <-
-          (let keep, drop =
-             List.partition (fun (i : Invocation.t) -> i.txn <> txn) t.mutation_log
-           in
-           List.iter t.hooks.forget drop;
-           keep);
-      prune t)
+  if t.striped then
+    Guard.protect_all
+      (Array.to_list (Array.map (fun s -> s.s_guard) t.shards))
+      (fun () ->
+        ignore drop_mutations;
+        Array.iter
+          (fun (sh : shard) ->
+            drop_txn_entries sh txn;
+            let keep, drop =
+              List.partition
+                (fun (i : Invocation.t) -> i.txn <> txn)
+                sh.s_muts
+            in
+            List.iter t.hooks.forget drop;
+            sh.s_muts <- keep)
+          t.shards)
+  else
+    Guard.protect t.mu (fun () ->
+        Array.iter (fun sh -> drop_txn_entries sh txn) t.shards;
+        if drop_mutations then
+          t.mutation_log <-
+            (let keep, drop =
+               List.partition (fun (i : Invocation.t) -> i.txn <> txn) t.mutation_log
+             in
+             List.iter t.hooks.forget drop;
+             keep);
+        prune t)
 
 let rollback_count (t : t) = !(t.stats_rollbacks)
 let obs (t : t) = t.obs
+let footprint (t : t) = t.fp
+let striped (t : t) = t.striped
 
 (** The [C_m] log set of a method: the s1-functions whose results the
     gatekeeper records on every invocation of [m] (exposed so tests can pin
     the construction; order is unspecified). *)
 let cm_functions (t : t) m =
   Option.value ~default:[] (Hashtbl.find_opt t.cm m)
+
+let all_guards (t : t) =
+  if t.striped then
+    Array.to_list (Array.map (fun (s : shard) -> s.s_guard) t.shards) @ [ t.mu ]
+  else [ t.mu ]
 
 let detector ~name (t : t) : Detector.t =
   {
@@ -492,24 +763,46 @@ let detector ~name (t : t) : Detector.t =
     on_abort = (fun txn -> on_end ~drop_mutations:true t txn);
     reset =
       (fun () ->
-        Guard.protect t.mu (fun () ->
-            Hashtbl.reset t.active;
-            t.n_active <- 0;
+        Guard.protect_all (all_guards t) (fun () ->
+            Array.iter
+              (fun (sh : shard) ->
+                Hashtbl.reset sh.s_active;
+                sh.s_n <- 0;
+                List.iter t.hooks.forget sh.s_muts;
+                sh.s_muts <- [])
+              t.shards;
             List.iter t.hooks.forget t.mutation_log;
             t.mutation_log <- []));
     snapshot = (fun () -> Obs.snapshot t.obs);
-    guards = [ t.mu ];
+    guards = all_guards t;
   }
 
 (** Forward gatekeeper (paper §3.3.1).  Requires an ONLINE-CHECKABLE spec;
     never rolls the data structure back, so [hooks.undo]/[redo] are unused
     and a bare [hooks sfun] suffices. *)
-let forward ~hooks:h (spec : Spec.t) : Detector.t * t =
-  let t = make ~allow_rollback:false h spec in
+let forward ?obs ~hooks:h (spec : Spec.t) : Detector.t * t =
+  let t = make ?obs ~allow_rollback:false h spec in
   (detector ~name:(Fmt.str "fwd-gk(%s)" (Spec.adt spec)) t, t)
 
 (** General gatekeeper (paper §3.3.2).  Accepts any L1 spec; needs working
     [undo]/[redo] hooks. *)
-let general ~hooks:h (spec : Spec.t) : Detector.t * t =
-  let t = make ~allow_rollback:true h spec in
+let general ?obs ~hooks:h (spec : Spec.t) : Detector.t * t =
+  let t = make ?obs ~allow_rollback:true h spec in
   (detector ~name:(Fmt.str "gen-gk(%s)" (Spec.adt spec)) t, t)
+
+(** Footprint-sharded forward gatekeeper.  When every condition is
+    state-free the shards are striped under per-shard guards; otherwise the
+    sharding only narrows the scan (single guard). *)
+let forward_sharded ?(nshards = 16) ?obs ~hooks:h (spec : Spec.t) :
+    Detector.t * t =
+  let t = make ~nshards ?obs ~allow_rollback:false h spec in
+  (detector ~name:(Fmt.str "fwd-gk-sharded(%s)" (Spec.adt spec)) t, t)
+
+(** Footprint-sharded general gatekeeper: the active table is sharded (the
+    scan narrows to own shard + overflow) but the gatekeeper keeps its
+    single guard — past-state reconstruction needs a globally ordered
+    mutation log. *)
+let general_sharded ?(nshards = 16) ?obs ~hooks:h (spec : Spec.t) :
+    Detector.t * t =
+  let t = make ~nshards ?obs ~allow_rollback:true h spec in
+  (detector ~name:(Fmt.str "gen-gk-sharded(%s)" (Spec.adt spec)) t, t)

@@ -14,7 +14,20 @@
     (union-find's [rep(s1, c)]) are evaluated either by rolling the data
     structure back — one batched reverse-chronological undo/redo sweep per
     incoming invocation — or, when the ADT provides [sfun_at], by querying
-    a partially persistent representation directly. *)
+    a partially persistent representation directly.
+
+    {b Footprint sharding} ({!forward_sharded}, {!general_sharded}): the
+    active-invocation table is split into hash shards keyed by the
+    {!Footprint} analysis, plus one overflow shard for keyless methods.  A
+    keyed incoming invocation is checked only against its own shard and the
+    overflow shard — the analysis guarantees invocations in other keyed
+    shards commute with it.  When the spec additionally needs no rollback
+    and every condition is state-free, the shards are {e striped} under
+    per-shard {!Guard.t}s, so same-ADT-different-key invocations no longer
+    serialize on a single gatekeeper mutex.
+
+    Most callers should construct detectors through {!Commlat_runtime}'s
+    [Protect] module rather than these low-level entry points. *)
 
 (** How a gatekeeper talks to the data structure it protects. *)
 type hooks = {
@@ -55,9 +68,19 @@ val rollback_count : t -> int
 (** The gatekeeper's observability registry: [invocations], [checks],
     [conflicts], [log_hits], [rollback_hits], [rollbacks],
     [sfun_at_queries], the [sweep_depth] distribution and per-method-pair
-    [abort_cause] labels.  The same data is exported through the detector's
-    [snapshot] hook. *)
+    [abort_cause] labels.  Sharded gatekeepers additionally export
+    [shard_inserts], [overflow_inserts], [checks_avoided] and per-shard
+    [shard_NN_inserts] counters.  The same data is exported through the
+    detector's [snapshot] hook. *)
 val obs : t -> Commlat_obs.Obs.t
+
+(** The footprint analysis backing a sharded gatekeeper ([None] when
+    unsharded). *)
+val footprint : t -> Footprint.t option
+
+(** Whether the gatekeeper runs the striped (per-shard guard) protocol
+    rather than a single global guard. *)
+val striped : t -> bool
 
 (** The [C_m] log set of a method: the s1-functions (name, argument terms)
     recorded on every invocation of that method.  Order is unspecified. *)
@@ -65,9 +88,33 @@ val cm_functions : t -> string -> (string * Formula.term list) list
 
 (** Forward gatekeeper (paper §3.3.1).  Raises [Invalid_argument] if the
     spec has non-ONLINE-CHECKABLE conditions; [hooks.undo]/[redo] are never
-    used, so bare [hooks sfun] suffices. *)
-val forward : hooks:hooks -> Spec.t -> Detector.t * t
+    used, so bare [hooks sfun] suffices.  [?obs] enables/disables the
+    observability registry (defaults to the [COMMLAT_OBS] environment
+    toggle; see {!Commlat_obs.Obs.create}).
+
+    @deprecated Application code should build detectors through
+    {!Commlat_runtime.Protect.protect} (schemes [Forward_gk] /
+    [Sharded (Forward_gk, n)]); the constructors here stay for detector
+    internals and tests. *)
+val forward : ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
 
 (** General gatekeeper (paper §3.3.2).  Accepts any L1 spec; needs working
-    [undo]/[redo] hooks (or [sfun_at]). *)
-val general : hooks:hooks -> Spec.t -> Detector.t * t
+    [undo]/[redo] hooks (or [sfun_at]).
+
+    @deprecated Prefer {!Commlat_runtime.Protect.protect} (scheme
+    [General_gk]). *)
+val general : ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
+
+(** Footprint-sharded forward gatekeeper ([nshards] defaults to 16).  When
+    every condition is state-free the shards are striped under per-shard
+    guards; otherwise sharding only narrows the check scan.  Equivalent to
+    {!forward} in the conflicts it reports; [Footprint.all_keyless] specs
+    degenerate to a single overflow shard (= unsharded behavior). *)
+val forward_sharded :
+  ?nshards:int -> ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
+
+(** Footprint-sharded general gatekeeper: the check scan narrows to own
+    shard + overflow, but a single guard is kept — past-state
+    reconstruction needs a globally ordered mutation log. *)
+val general_sharded :
+  ?nshards:int -> ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t

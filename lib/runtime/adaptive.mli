@@ -1,0 +1,45 @@
+(** Adaptive conflict-detector selection.
+
+    The paper closes §5 noting that ranking checkers by permittivity could
+    let "an automated system ... adaptively and dynamically select from
+    these implementations as run-time needs change"; this module is that
+    system, for the bulk-synchronous executor.  {!choose} runs a sampling
+    prefix of the workload under each candidate, measuring throughput
+    (folding together the detector's overhead [o_d] and the parallelism
+    [a_d] it admits — the two quantities the paper's [T·o_d/min(a_d,p)]
+    model trades off); the winner runs the full workload.
+
+    Sampling re-executes the prefix from scratch per candidate, so the
+    candidate constructor must provide fresh state each time. *)
+
+open Commlat_core
+
+type 'w candidate = {
+  name : string;
+  prepare : unit -> Detector.t * (Txn.t -> 'w -> 'w list) * 'w list;
+      (** fresh application state + detector + operator + initial
+          worklist *)
+}
+
+type 'w decision = {
+  winner : 'w candidate;
+  scores : (string * float) list;
+      (** virtual time per iteration, lower wins *)
+  samples : int;
+}
+
+(** Sample every candidate on a prefix of [sample_size] items and pick the
+    cheapest.  Raises [Invalid_argument] on an empty candidate list, empty
+    names or duplicate names. *)
+val choose :
+  ?processors:int -> ?sample_size:int -> 'w candidate list -> 'w decision
+
+(** Sample, pick, and run the winner on the full workload.  Returns the
+    decision and the winning run's stats. *)
+val run :
+  ?processors:int ->
+  ?sample_size:int ->
+  'w candidate list ->
+  'w decision * Executor.stats
+
+val pp_decision : _ decision Fmt.t

@@ -1,0 +1,34 @@
+(** Boosted method invocation: the glue between application transactions,
+    conflict detectors and ADT undo actions.
+
+    The undo action is registered {e before} the detector runs the method:
+    gatekeepers (and the STM baseline) execute the method first and may
+    detect the conflict afterwards, and in that case the half-done
+    transaction must still roll the invocation back. *)
+
+open Commlat_core
+
+(** [invoke det txn ~undo meth args exec]: run [exec inv] under conflict
+    detection on behalf of [txn], with [undo inv] registered as the
+    transaction-rollback action.  Returns the method's result; raises
+    {!Detector.Conflict} if the invocation does not commute with a live
+    one. *)
+val invoke :
+  Detector.t ->
+  Txn.t ->
+  undo:(Invocation.t -> unit) ->
+  Invocation.meth ->
+  Value.t array ->
+  (Invocation.t -> Value.t) ->
+  Value.t
+
+(** Read-only invocation: no undo needed.  The detector's guards are still
+    registered: the invocation may hold detector state (locks, log
+    entries) that an abort must release atomically. *)
+val invoke_ro :
+  Detector.t ->
+  Txn.t ->
+  Invocation.meth ->
+  Value.t array ->
+  (Invocation.t -> Value.t) ->
+  Value.t

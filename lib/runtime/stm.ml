@@ -31,8 +31,8 @@ type t = {
   d_writes : Obs.dist;  (** cells written per invocation (with repeats) *)
 }
 
-let make () =
-  let obs = Obs.create "stm" in
+let make ?obs:obs_enabled () =
+  let obs = Obs.create ?enabled:obs_enabled "stm" in
   {
     cells = Hashtbl.create 4096;
     touched = Hashtbl.create 64;
@@ -151,6 +151,6 @@ let detector (t : t) : Detector.t =
   }
 
 (** Convenience: a fresh STM with its detector and tracer. *)
-let create () =
-  let t = make () in
+let create ?obs () =
+  let t = make ?obs () in
   (detector t, tracer t)

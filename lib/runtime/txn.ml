@@ -30,6 +30,7 @@ let fresh () =
   { id = Atomic.fetch_and_add counter 1; undo = []; status = Running; guards = [] }
 
 let id t = t.id
+let status t = t.status
 
 (** Register the inverse of an action just performed. *)
 let push_undo t f = t.undo <- f :: t.undo

@@ -196,7 +196,86 @@ let set_detectors : (string * (Iset.t -> Detector.t)) list =
     ("abslock-rw", fun _ -> Abstract_lock.detector (Iset.simple_spec ()));
     ( "fwd-gk",
       fun set -> fst (Gatekeeper.forward ~hooks:(Iset.hooks set) (Iset.precise_spec ())) );
+    (* footprint-sharded/striped variants must report exactly the same
+       conflicts as their unsharded counterparts *)
+    ( "fwd-gk-sharded",
+      fun set ->
+        Protect.protect ~spec:(Iset.precise_spec ())
+          ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+          (Protect.Sharded (Protect.Forward_gk, 8)) );
+    ( "abslock-rw-striped",
+      fun _ ->
+        Protect.protect ~spec:(Iset.simple_spec ()) ~adt:(Protect.adt ())
+          (Protect.Sharded (Protect.Abstract_lock, 8)) );
   ]
+
+(* Multi-op transactions on a kvmap, overlapping key ranges plus a keyless
+   [size] call per transaction: exercises the striped gatekeeper's keyed
+   shards, the overflow shard (size has no footprint key) and real
+   conflicts/retries at every domain count.  The final map must equal the
+   one a sequential run produces (last-writer-wins is confluent here
+   because every transaction writes its own value only to keys it owns
+   modulo the overlap set, and the reference is recomputed per run). *)
+let kvmap_txn m det (txn : Txn.t) (i : int) =
+  for j = 0 to 7 do
+    (* key blocks overlap by half; the value is a function of the key, so
+       overlapping puts write the same binding and the final map is the
+       same under every serialization *)
+    let k = (i * 4) + j in
+    ignore
+      (Boost.invoke det txn ~undo:(Kvmap.undo m) Kvmap.m_put
+         [| Value.Int k; Value.Int ((2 * k) + 1) |]
+         (fun (inv : Invocation.t) -> Kvmap.exec m "put" inv.Invocation.args))
+  done;
+  (* keyless method: lands in the overflow shard and conflicts with
+     concurrent puts, exercising retries through the striped path *)
+  ignore
+    (Boost.invoke_ro det txn Kvmap.m_size [||] (fun (inv : Invocation.t) ->
+         Kvmap.exec m "size" inv.Invocation.args));
+  []
+
+let test_sharded_kvmap_equivalence () =
+  let mk sharded m =
+    Protect.protect ~spec:(Kvmap.precise_spec ())
+      ~adt:(Protect.adt ~hooks:(Kvmap.hooks m) ())
+      (if sharded then Protect.Sharded (Protect.Forward_gk, 8)
+       else Protect.Forward_gk)
+  in
+  let items = List.init 40 Fun.id in
+  let run_seq () =
+    let m = Kvmap.create () in
+    let det = mk false m in
+    ignore
+      (Executor.run_sequential ~detector:det
+         ~operator:(fun txn i -> kvmap_txn m det txn i)
+         items);
+    List.sort compare (Kvmap.bindings m)
+  in
+  let reference = run_seq () in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun sharded ->
+          let m = Kvmap.create () in
+          let det = mk sharded m in
+          let s =
+            Executor.run_domains ~domains:d ~detector:det
+              ~operator:(fun det txn i -> kvmap_txn m det txn i)
+              items
+          in
+          check_int
+            (Fmt.str "kvmap %s @ %d domains: all txns committed"
+               (if sharded then "sharded" else "unsharded")
+               d)
+            (List.length items) s.Executor.committed;
+          check_bool
+            (Fmt.str "kvmap %s @ %d domains: same final bindings"
+               (if sharded then "sharded" else "unsharded")
+               d)
+            true
+            (List.sort compare (Kvmap.bindings m) = reference))
+        [ false; true ])
+    domain_counts
 
 let test_set_equivalence () =
   List.iter
@@ -339,6 +418,8 @@ let suite =
       test_commit_hook_failure_is_atomic;
     Alcotest.test_case "equivalence: set schemes x {1,2,8} domains" `Slow
       test_set_equivalence;
+    Alcotest.test_case "equivalence: sharded kvmap (keyed + overflow) x {1,2,8}"
+      `Slow test_sharded_kvmap_equivalence;
     Alcotest.test_case "equivalence: boruvka general gatekeeper" `Slow
       test_boruvka_equivalence;
     Alcotest.test_case "equivalence: stm" `Slow test_stm_equivalence;

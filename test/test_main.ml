@@ -15,6 +15,7 @@ let () =
       ("gatekeeper", Test_gatekeeper.suite);
       ("general-gatekeeper", Test_general_gatekeeper.suite);
       ("executor", Test_executor.suite);
+      ("footprint", Test_footprint.suite);
       ("domains", Test_domains.suite);
       ("runtime", Test_runtime.suite);
       ("stm", Test_stm.suite);

@@ -18,7 +18,7 @@ let test_txn_rollback_order () =
   Txn.push_undo txn (fun () -> log := 3 :: !log);
   Txn.rollback txn;
   Alcotest.(check (list int)) "newest-first" [ 1; 2; 3 ] !log;
-  check_bool "status" true (txn.Txn.status = Txn.Aborted);
+  check_bool "status" true (Txn.status txn = Txn.Aborted);
   (* undo list cleared: a second rollback is a no-op *)
   Txn.rollback txn;
   Alcotest.(check (list int)) "no double undo" [ 1; 2; 3 ] !log

@@ -9,7 +9,11 @@
      dune exec bench/main.exe                 # all experiments, default scale
      dune exec bench/main.exe -- table1       # one experiment
      dune exec bench/main.exe -- --full all   # paper-scale inputs (slow)
-     dune exec bench/main.exe -- bechamel     # Bechamel microbenchmarks *)
+     dune exec bench/main.exe -- bechamel     # Bechamel microbenchmarks
+
+   [--seed N] re-seeds every workload generator (default 42); the seed is
+   stamped into --json documents and required by `commlat stats
+   --validate`.  [--json FILE] and [--detector SCHEME] as before. *)
 
 open Commlat_core
 open Commlat_adts
@@ -19,6 +23,13 @@ module Obs = Commlat_obs.Obs
 module Jsonx = Commlat_obs.Jsonx
 
 let pf = Format.printf
+
+(* Master seed for every workload generator (--seed N, default 42).  Each
+   generator derives its stream with a distinct offset so changing the
+   seed re-randomizes all inputs coherently without correlating them.
+   The seed is stamped into every --json document ("seed") and checked by
+   `commlat stats --validate`. *)
+let run_seed = ref 42
 
 (* ------------------------------------------------------------------ *)
 (* Scales                                                              *)
@@ -80,6 +91,7 @@ let json_doc ~experiment ~full rows =
     [
       ("schema", Jsonx.Str "commlat-bench/1");
       ("experiment", Jsonx.Str experiment);
+      ("seed", Jsonx.Int !run_seed);
       ("scale", Jsonx.Str (if full then "full" else "default"));
       ("rows", Jsonx.List rows);
     ]
@@ -114,7 +126,8 @@ let preflow_variants =
           Protect.Stm );
   ]
 
-let preflow_input scale = Genrmf.generate ~a:scale.genrmf_a ~b:scale.genrmf_b ()
+let preflow_input scale =
+  Genrmf.generate ~seed:!run_seed ~a:scale.genrmf_a ~b:scale.genrmf_b ()
 
 let preflow_run ?(processors = 4) inp variant_det =
   let p = Preflow_push.of_genrmf inp in
@@ -241,7 +254,7 @@ let table1 scale =
       row ~variant:("preflow-" ^ name) ~prof ~ovh:(t1 /. seq_time) ~snap)
     preflow_variants;
   (* --- boruvka --- *)
-  let mesh = Mesh.generate ~rows:scale.mesh_rows ~cols:scale.mesh_cols () in
+  let mesh = Mesh.generate ~seed:(!run_seed + 7) ~rows:scale.mesh_rows ~cols:scale.mesh_cols () in
   let seq_time =
     median (fun () -> ignore (boruvka_run ~processors:1 mesh `None))
   in
@@ -252,7 +265,7 @@ let table1 scale =
       row ~variant:("boruvka-" ^ name) ~prof ~ovh:(t1 /. seq_time) ~snap)
     [ ("uf-ml", `Ml); ("uf-gk", `Gk) ];
   (* --- clustering --- *)
-  let pts = Point.random_cloud ~seed:31 ~dim:2 scale.cluster_points in
+  let pts = Point.random_cloud ~seed:(!run_seed + 31) ~dim:2 scale.cluster_points in
   let seq_time =
     median (fun () -> ignore (clustering_run ~processors:1 pts `None))
   in
@@ -282,7 +295,7 @@ let table2 scale =
       pf "%-16s %-12s %-14s %-12s@." "scheme" "abort %" "est 4T time(s)" "wall(s)";
       List.iter
         (fun s ->
-          let r = Set_micro.run ~threads:4 ~classes ~n:scale.micro_ops s in
+          let r = Set_micro.run ~seed:!run_seed ~threads:4 ~classes ~n:scale.micro_ops s in
           let st = r.Set_micro.stats in
           pf "%-16s %-12.2f %-14.4f %-12.4f@." (Set_micro.scheme_name s)
             r.Set_micro.abort_pct (est_time st) r.Set_micro.wall_s;
@@ -347,7 +360,7 @@ let fig11 scale =
   header
     "Figure 11: agglomerative clustering estimated runtime (s) vs threads\n\
      (paper: the forward gatekeeper beats the memory-level baseline and scales)";
-  let pts = Point.random_cloud ~seed:77 ~dim:2 scale.cluster_points in
+  let pts = Point.random_cloud ~seed:(!run_seed + 77) ~dim:2 scale.cluster_points in
   let median f = Stats.time_median ~reps:3 f in
   let seq = median (fun () -> ignore (clustering_run ~processors:1 pts `None)) in
   pf "sequential time: %.4fs@." seq;
@@ -383,7 +396,7 @@ let fig12 scale =
      'sim' speedups include the P-dependent growth of detection work that our\n\
      serial simulator charges to the clock; 'model' speedups apply the paper's\n\
      own T*o_d/min(a_d,p) with the measured 1-thread overheads.";
-  let mesh = Mesh.generate ~rows:scale.mesh_rows ~cols:scale.mesh_cols () in
+  let mesh = Mesh.generate ~seed:(!run_seed + 7) ~rows:scale.mesh_rows ~cols:scale.mesh_cols () in
   let median f = Stats.time_median ~reps:3 f in
   let serial = median (fun () -> ignore (boruvka_run ~processors:1 mesh `None)) in
   let od v = median (fun () -> ignore (boruvka_run ~processors:1 mesh v)) /. serial in
@@ -528,7 +541,7 @@ let ablation scale =
   let run_micro det_name mk_det =
     let set = Iset.create () in
     let det = mk_det set in
-    let ops = Set_micro.ops ~classes:10 scale.micro_ops in
+    let ops = Set_micro.ops ~seed:!run_seed ~classes:10 scale.micro_ops in
     let stats =
       Executor.run_rounds ~processors:4 ~detector:det
         ~operator:(Set_micro.operator set det) ops
@@ -536,16 +549,21 @@ let ablation scale =
     pf "%-30s wall=%-10.4f aborts=%.2f%%@." det_name stats.Executor.wall_s
       (100.0 *. Executor.abort_ratio stats)
   in
-  run_micro "generic rw abs-lock" (fun _ -> Abstract_lock.detector (Iset.simple_spec ()));
+  run_micro "generic rw abs-lock" (fun _ ->
+      Protect.protect ~spec:(Iset.simple_spec ()) ~adt:(Protect.adt ())
+        Protect.Abstract_lock);
   run_micro "hand-specialized rw locks" (fun _ -> specialized_rw_set_detector ());
   run_micro "generic rw (no reduction)" (fun _ ->
-      Abstract_lock.detector ~reduce_scheme:false (Iset.simple_spec ()));
+      Protect.protect ~reduce_scheme:false ~spec:(Iset.simple_spec ())
+        ~adt:(Protect.adt ()) Protect.Abstract_lock);
   run_micro "forward gatekeeper (Fig.2)" (fun set ->
-      fst (Gatekeeper.forward ~hooks:(Iset.hooks set) (Iset.precise_spec ())));
+      Protect.protect ~spec:(Iset.precise_spec ())
+        ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+        Protect.Forward_gk);
   (* --- rollback vs versioned general gatekeeping (the paper's future-work
      question: cheaper general conflict detection) --- *)
   pf "@.general gatekeeping: undo/redo rollback vs partially-persistent       union-find@.";
-  let mesh = Mesh.generate ~rows:scale.mesh_rows ~cols:scale.mesh_cols () in
+  let mesh = Mesh.generate ~seed:(!run_seed + 7) ~rows:scale.mesh_rows ~cols:scale.mesh_cols () in
   let run_variant label mk procs =
     let t = Boruvka.create ~mesh () in
     let det = mk t in
@@ -561,8 +579,10 @@ let ablation scale =
   in
   let run_versioned procs =
     let t, vt = Boruvka.create_versioned ~mesh () in
-    let det, _ =
-      Gatekeeper.general ~hooks:(Union_find_versioned.hooks vt) (Union_find.spec ())
+    let det =
+      Protect.protect ~spec:(Union_find.spec ())
+        ~adt:(Protect.adt ~hooks:(Union_find_versioned.hooks vt) ())
+        Protect.General_gk
     in
     let s =
       Executor.run_rounds ~processors:procs
@@ -578,10 +598,9 @@ let ablation scale =
     (fun p ->
       run_variant "uf-gk (rollback)"
         (fun t ->
-          fst
-            (Gatekeeper.general
-               ~hooks:(Union_find.hooks t.Boruvka.uf)
-               (Union_find.spec ())))
+          Protect.protect ~spec:(Union_find.spec ())
+            ~adt:(Protect.adt ~hooks:(Union_find.hooks t.Boruvka.uf) ())
+            Protect.General_gk)
         p;
       run_versioned p)
     [ 1; 4; 8 ];
@@ -594,7 +613,7 @@ let ablation scale =
         (fun () ->
           let set = Iset.create () in
           let det = Set_micro.detector_of set scheme in
-          (det, Set_micro.operator set det, Set_micro.ops ~classes:10 (scale.micro_ops / 4)));
+          (det, Set_micro.operator set det, Set_micro.ops ~seed:!run_seed ~classes:10 (scale.micro_ops / 4)));
     }
   in
   let decision, stats =
@@ -631,7 +650,11 @@ let bechamel () =
   let batch_uf () =
     let uf = Union_find.create () in
     ignore (Union_find.create_elements uf 64);
-    let det, _ = Gatekeeper.general ~hooks:(Union_find.hooks uf) (Union_find.spec ()) in
+    let det =
+      Protect.protect ~spec:(Union_find.spec ())
+        ~adt:(Protect.adt ~hooks:(Union_find.hooks uf) ())
+        Protect.General_gk
+    in
     for i = 0 to 30 do
       let txn = 200_000 + i in
       let inv =
@@ -645,8 +668,12 @@ let bechamel () =
   in
   let batch_kd () =
     let t = Kdtree.create ~dims:2 () in
-    Array.iter (fun p -> ignore (Kdtree.add t p)) (Point.random_cloud ~seed:1 ~dim:2 256);
-    let det, _ = Gatekeeper.forward ~hooks:(Kdtree.hooks t) (Kdtree.spec ()) in
+    Array.iter (fun p -> ignore (Kdtree.add t p)) (Point.random_cloud ~seed:(!run_seed + 1) ~dim:2 256);
+    let det =
+      Protect.protect ~spec:(Kdtree.spec ())
+        ~adt:(Protect.adt ~hooks:(Kdtree.hooks t) ())
+        Protect.Forward_gk
+    in
     for i = 0 to 15 do
       let txn = 300_000 + i in
       let q = [| float_of_int (i mod 4) /. 4.0; 0.5 |] in
@@ -662,15 +689,26 @@ let bechamel () =
     Test.make_grouped ~name:"commlat"
       [
         Test.make ~name:"table2-global-lock"
-          (Staged.stage (batch_set (fun _ -> Detector.global_lock ())));
+          (Staged.stage
+             (batch_set (fun _ ->
+                  Protect.protect ~spec:(Iset.exclusive_spec ())
+                    ~adt:(Protect.adt ()) Protect.Global_lock)));
         Test.make ~name:"table2-abs-lock-excl"
-          (Staged.stage (batch_set (fun _ -> Abstract_lock.detector (Iset.exclusive_spec ()))));
+          (Staged.stage
+             (batch_set (fun _ ->
+                  Protect.protect ~spec:(Iset.exclusive_spec ())
+                    ~adt:(Protect.adt ()) Protect.Abstract_lock)));
         Test.make ~name:"table2-abs-lock-rw"
-          (Staged.stage (batch_set (fun _ -> Abstract_lock.detector (Iset.simple_spec ()))));
+          (Staged.stage
+             (batch_set (fun _ ->
+                  Protect.protect ~spec:(Iset.simple_spec ())
+                    ~adt:(Protect.adt ()) Protect.Abstract_lock)));
         Test.make ~name:"table2-gatekeeper"
           (Staged.stage
              (batch_set (fun set ->
-                  fst (Gatekeeper.forward ~hooks:(Iset.hooks set) (Iset.precise_spec ())))));
+                  Protect.protect ~spec:(Iset.precise_spec ())
+                    ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+                    Protect.Forward_gk)));
         Test.make ~name:"table1-fig12-uf-general-gk" (Staged.stage batch_uf);
         Test.make ~name:"table1-fig11-kdtree-fwd-gk" (Staged.stage batch_kd);
       ]
@@ -743,7 +781,7 @@ let scaling ?detector scale =
         []
       in
       let stats =
-        Executor.run_domains ~domains ~detector:det ~operator
+        Executor.run_domains ~backoff_seed:!run_seed ~domains ~detector:det ~operator
           (List.init items Fun.id)
       in
       let snap = det.Detector.snapshot () in
@@ -832,7 +870,7 @@ let sharding ?detector scale =
     for _ = 1 to reps do
       let det, operator = mk () in
       let stats =
-        Executor.run_domains ~domains ~detector:det ~operator
+        Executor.run_domains ~backoff_seed:!run_seed ~domains ~detector:det ~operator
           (List.init ntxn Fun.id)
       in
       let snap = det.Detector.snapshot () in
@@ -952,6 +990,15 @@ let () =
     go [] args
   in
   let json_file, args = grab "--json" args in
+  let seed_arg, args = grab "--seed" args in
+  (match seed_arg with
+  | None -> ()
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> run_seed := n
+      | None ->
+          pf "--seed needs an integer, got %S@." s;
+          exit 1));
   let detector, args = grab "--detector" args in
   let what = match args with [] -> "all" | w :: _ -> w in
   let emit json =

@@ -11,6 +11,9 @@
      commlat print FILE           canonical re-print (round-trips)
      commlat stats FILE           render/validate observability snapshots
                                   from bench/main.exe --json output
+     commlat explore WORKLOAD     systematic interleaving exploration with
+                                  commutativity (DPOR-style) pruning and
+                                  replayable, shrunk counterexamples
 
    Flag conventions shared with bench/main.exe: [--json FILE] writes the
    machine-readable form of a subcommand's report next to its text output,
@@ -499,6 +502,12 @@ let stats_cmd =
               (match mem "experiment" kvs with
               | Some (Jsonx.Str _) -> ()
               | _ -> fail "missing \"experiment\"");
+              (match mem "seed" kvs with
+              | Some (Jsonx.Int _) -> ()
+              | _ ->
+                  fail
+                    "missing \"seed\" (bench/main.exe stamps its --seed into \
+                     every document)");
               match mem "rows" kvs with
               | Some (Jsonx.List rows) ->
                   if rows = [] then fail "empty \"rows\"";
@@ -548,6 +557,183 @@ let stats_cmd =
           fails, 2 on unreadable/unparsable input.")
     Term.(const run $ file $ validate)
 
+(* ---- explore ---- *)
+
+module Sched = Commlat_sched
+
+let explore_cmd =
+  let run workload detector txns steps max_schedules no_por json_out replay_file
+      seed =
+    let scheme =
+      match detector with Some s -> s | None -> Protect.Forward_gk
+    in
+    let wl =
+      match workload with
+      | "abba-buggy" | "abba-fixed" ->
+          let buggy = workload = "abba-buggy" in
+          Ok
+            {
+              Sched.Workload.w_name = workload;
+              w_detector = "seeded";
+              w_txns = 3;
+              make = (fun () -> Sched.Seeded.workload ~buggy ());
+            }
+      | name -> Sched.Workload.by_name ~txns ~seed name scheme
+    in
+    match wl with
+    | Error msg ->
+        Fmt.epr "explore: %s@." msg;
+        exit 2
+    | Ok w -> (
+        match replay_file with
+        | Some file ->
+            (* replay a pinned/shrunk schedule instead of exploring *)
+            let sched =
+              read_file file |> String.split_on_char '\n'
+              |> List.filter_map (fun l ->
+                     match String.trim l with
+                     | "" -> None
+                     | l when l.[0] = '#' -> None
+                     | l -> (
+                         match int_of_string_opt l with
+                         | Some i -> Some i
+                         | None ->
+                             Fmt.epr "%s: not a fiber id: %S@." file l;
+                             exit 2))
+            in
+            let r =
+              Sched.Explore.replay ~max_steps:steps ~schedule:sched
+                w.Sched.Workload.make
+            in
+            Fmt.pr "replay of %s (%d choices): %a@." file (List.length sched)
+              Sched.Scheduler.pp_status r.Sched.Scheduler.status;
+            Fmt.pr "%s" (Sched.Trace.render r.Sched.Scheduler.steps);
+            (match r.Sched.Scheduler.oracle_failure with
+            | Some m -> Fmt.pr "oracle: %s@." m
+            | None -> ());
+            let failed =
+              (match r.Sched.Scheduler.status with
+              | Sched.Scheduler.Deadlock _ | Sched.Scheduler.Crashed _ -> true
+              | _ -> false)
+              || r.Sched.Scheduler.oracle_failure <> None
+            in
+            exit (if failed then 1 else 0)
+        | None ->
+            let config =
+              {
+                Sched.Explore.por = not no_por;
+                max_schedules;
+                max_steps = steps;
+              }
+            in
+            let obs = Obs.create ~enabled:true "explore" in
+            let report =
+              Sched.Explore.explore ~config ~obs w.Sched.Workload.make
+            in
+            let c = report.Sched.Explore.c in
+            Fmt.pr
+              "workload %s, detector %s, %d transactions, por=%b@.\
+               schedules: %d run, %d pruned (commutativity), %d sleep-set \
+               hits, %d shrink runs@.\
+               steps: %d total, %d truncated runs; search %s@."
+              w.Sched.Workload.w_name w.Sched.Workload.w_detector
+              w.Sched.Workload.w_txns (not no_por) c.Sched.Explore.runs
+              c.Sched.Explore.pruned c.Sched.Explore.sleep_hits
+              c.Sched.Explore.shrink_runs c.Sched.Explore.steps
+              c.Sched.Explore.truncated
+              (if report.Sched.Explore.exhausted then "exhausted"
+               else "cut short by --max-schedules");
+            (match report.Sched.Explore.verdict with
+            | None -> Fmt.pr "verdict: ok (no counterexample)@."
+            | Some f ->
+                Fmt.pr
+                  "verdict: counterexample (%s): %s@.\
+                   schedule (shrunk %d -> %d choices): %s@.%s"
+                  f.Sched.Explore.f_kind f.Sched.Explore.f_detail
+                  f.Sched.Explore.f_shrunk_from
+                  (List.length f.Sched.Explore.f_schedule)
+                  (String.concat ","
+                     (List.map string_of_int f.Sched.Explore.f_schedule))
+                  f.Sched.Explore.f_trace);
+            (match json_out with
+            | Some path ->
+                let doc =
+                  Sched.Explore.json_of_report
+                    ~workload:w.Sched.Workload.w_name
+                    ~detector:w.Sched.Workload.w_detector
+                    ~txns:w.Sched.Workload.w_txns ~config
+                    ~obs_snapshot:(Obs.snapshot obs) report
+                in
+                write_out path (Jsonx.to_string doc ^ "\n")
+            | None -> ());
+            exit (if report.Sched.Explore.verdict = None then 0 else 1))
+  in
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "Workload to explore: $(b,set), $(b,kvmap), $(b,union-find), or \
+             the seeded lock-order-inversion pair $(b,abba-buggy) / \
+             $(b,abba-fixed).")
+  in
+  let txns =
+    Arg.(
+      value & opt int 3
+      & info [ "txns" ] ~docv:"N" ~doc:"Concurrent transactions (fibers).")
+  in
+  let steps =
+    Arg.(
+      value & opt int 2000
+      & info [ "steps" ] ~docv:"N"
+          ~doc:"Per-run step budget (catches retry livelocks).")
+  in
+  let max_schedules =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-schedules" ] ~docv:"N"
+          ~doc:"Total schedule budget for the search.")
+  in
+  let no_por =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:
+            "Disable commutativity (partial-order-reduction) pruning and \
+             explore every branch — the ground truth the pruned search is \
+             validated against.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay one pinned schedule (one fiber id per line, $(b,#) \
+             comments) instead of exploring; prints the trace and exits 1 \
+             if the run deadlocks, crashes or fails the oracle.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for the workload's deterministic operation plan.")
+  in
+  Cmd.v
+    (Cmd.info "explore" ~exits
+       ~doc:
+         "Systematically explore transaction interleavings of a workload \
+          under a detector scheme, using the commutativity lattice to prune \
+          equivalent schedules (DPOR-style). Counterexamples (deadlock, \
+          crash, serializability-oracle failure) are shrunk to a minimal \
+          replayable schedule. Exits 0 when no counterexample is found, 1 \
+          on a counterexample, 2 on an unusable workload/detector \
+          combination.")
+    Term.(
+      const run $ workload $ detector_arg $ txns $ steps $ max_schedules
+      $ no_por $ json_file_arg $ replay $ seed)
+
 (* ---- print ---- *)
 
 let print_cmd =
@@ -567,4 +753,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ classify_cmd; matrix_cmd; check_cmd; lint_cmd; order_cmd; print_cmd; stats_cmd ]))
+          [ classify_cmd; matrix_cmd; check_cmd; lint_cmd; order_cmd; print_cmd; stats_cmd; explore_cmd ]))

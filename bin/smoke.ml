@@ -42,7 +42,10 @@ let () =
       ~sink:inp.Genrmf.sink inp.Genrmf.edges
   in
   let p = Preflow_push.of_genrmf inp in
-  let det = Abstract_lock.detector (Flow_graph.spec_rw ()) in
+  let det =
+    Protect.protect ~spec:(Flow_graph.spec_rw ()) ~adt:(Protect.adt ())
+      Protect.Abstract_lock
+  in
   let flow, stats = Preflow_push.run ~processors:4 ~detector:det p in
   pf "@.preflow-push rw: flow=%d (expected %d) %a@." flow expected
     Executor.pp_stats stats;
@@ -52,7 +55,11 @@ let () =
   let mesh = Mesh.generate ~rows:8 ~cols:8 () in
   let expected_w = Reference.mst_weight ~n:mesh.Mesh.nodes mesh.Mesh.edges in
   let t = Boruvka.create ~mesh () in
-  let det, _gk = Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ()) in
+  let det =
+    Protect.protect ~spec:(Union_find.spec ())
+      ~adt:(Protect.adt ~hooks:(Union_find.hooks t.Boruvka.uf) ())
+      Protect.General_gk
+  in
   let stats =
     Executor.run_rounds ~processors:4
       ~detector:(Boruvka.full_detector t det)
@@ -68,7 +75,11 @@ let () =
   let pts = Point.random_cloud ~seed:5 ~dim:2 64 in
   let tt = Clustering.create ~dims:2 () in
   Clustering.load tt pts;
-  let det, _ = Gatekeeper.forward ~hooks:(Kdtree.hooks tt.Clustering.tree) (Kdtree.spec ()) in
+  let det =
+    Protect.protect ~spec:(Kdtree.spec ())
+      ~adt:(Protect.adt ~hooks:(Kdtree.hooks tt.Clustering.tree) ())
+      Protect.Forward_gk
+  in
   let stats =
     Executor.run_rounds ~processors:4 ~detector:det
       ~operator:(Clustering.operator tt det) (Array.to_list pts)
@@ -84,8 +95,11 @@ let () =
   (* --- boruvka with STM baseline --- *)
   let mesh2 = Mesh.generate ~rows:6 ~cols:6 () in
   let t2 = Boruvka.create ~mesh:mesh2 () in
-  let det2, tracer = Stm.create () in
-  Union_find.set_tracer t2.Boruvka.uf tracer;
+  let det2 =
+    Protect.protect ~spec:(Union_find.spec ())
+      ~adt:(Protect.adt ~connect_tracer:(Union_find.set_tracer t2.Boruvka.uf) ())
+      Protect.Stm
+  in
   let stats2 =
     Executor.run_rounds ~processors:4
       ~detector:(Boruvka.full_detector t2 det2)

@@ -62,7 +62,9 @@ let mk ~(mesh : Mesh.t) uf exec_inv undo_inv =
     mesh.Mesh.edges;
   {
     uf;
-    aux = Abstract_lock.detector (comp_spec ());
+    aux =
+      Protect.protect ~spec:(comp_spec ()) ~adt:(Protect.adt ())
+        Protect.Abstract_lock;
     comp_edges;
     mst = [];
     mu = Mutex.create ();

@@ -70,13 +70,13 @@ type result = {
 
 (** Run the microbenchmark for one scheme on [threads] simulated
     processors. *)
-let run ?(threads = 4) ~classes ~n (s : scheme) : result =
+let run ?(threads = 4) ?(seed = 17) ~classes ~n (s : scheme) : result =
   Gc.full_major ();
   let set = Iset.create () in
   let det = detector_of set s in
   let stats =
     Executor.run_rounds ~processors:threads ~detector:det
-      ~operator:(operator set det) (ops ~classes n)
+      ~operator:(operator set det) (ops ~seed ~classes n)
   in
   {
     scheme = s;

@@ -42,8 +42,12 @@ let id t = t.id
 let self () = (Domain.self () :> int)
 
 (** Acquire (blocking), re-entering for free if this domain already holds
-    the guard. *)
+    the guard.  Announces itself to {!Schedpoint} first so the virtual
+    scheduler can block the acquiring fiber (the real mutex never blocks
+    under single-domain exploration — same-domain reentrancy makes it a
+    depth counter — so virtual mutual exclusion lives in the scheduler). *)
 let lock t =
+  Schedpoint.emit (Schedpoint.Acquire t.id);
   let me = self () in
   if Atomic.get t.owner = me then t.depth <- t.depth + 1
   else begin
@@ -53,6 +57,7 @@ let lock t =
   end
 
 let unlock t =
+  Schedpoint.emit (Schedpoint.Release t.id);
   assert (Atomic.get t.owner = self ());
   t.depth <- t.depth - 1;
   if t.depth = 0 then begin

@@ -1,0 +1,37 @@
+(** Virtual yield points for systematic concurrency testing.  See the
+    interface for the contract; the implementation is a single global hook
+    cell kept deliberately branch-cheap for the production (uninstalled)
+    path. *)
+
+type action =
+  | Acquire of int
+  | Release of int
+  | Invoke of { det : string; inv : Invocation.t }
+  | Commit of { det : string; txn : int }
+  | Abort of { det : string; txn : int }
+  | Read of int
+  | Write of int
+
+let pp_action ppf = function
+  | Acquire g -> Fmt.pf ppf "acq(g%d)" g
+  | Release g -> Fmt.pf ppf "rel(g%d)" g
+  | Invoke { det; inv } -> Fmt.pf ppf "invoke %a [%s]" Invocation.pp inv det
+  | Commit { det; txn = _ } -> Fmt.pf ppf "commit [%s]" det
+  | Abort { det; txn = _ } -> Fmt.pf ppf "abort [%s]" det
+  | Read c -> Fmt.pf ppf "read(c%d)" c
+  | Write c -> Fmt.pf ppf "write(c%d)" c
+
+(* One mutable cell, read on every Guard.lock/unlock in the process.  Not
+   an [Atomic.t]: installation is only legal while single-domain (the
+   virtual scheduler), and the uninstalled fast path must stay a plain
+   load + branch. *)
+let hook : (action -> unit) option ref = ref None
+
+let install f =
+  match !hook with
+  | Some _ -> invalid_arg "Schedpoint.install: a hook is already installed"
+  | None -> hook := Some f
+
+let uninstall () = hook := None
+let active () = Option.is_some !hook
+let emit a = match !hook with None -> () | Some f -> f a

@@ -112,3 +112,52 @@ let pp ppf t =
       Fmt.pf ppf "  %s ; %s  commute if  %a@," m1 m2 Formula.pp f)
     (pairs t);
   Fmt.pf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Observed-invocation commutativity (the explorer's independence      *)
+(* relation)                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [commutes t i1 i2] evaluates the condition for "[i1] executed, then
+    [i2]" on the two {e observed} invocations.  [Some true] means the pair
+    commutes at this point of the lattice — by the paper's Definition 1
+    both execution orders reach the same state and return values, so a
+    schedule explorer never needs to try the other order.  [Some false]
+    means the condition refutes commutativity on these arguments.  [None]
+    means the condition cannot be decided from the observations alone:
+    it is state-dependent (needs an [Sfun] oracle we don't have here), it
+    reads a return value the caller flagged as not yet produced
+    ([~ret1_known]/[~ret2_known] default to [true]), or evaluation hit an
+    uninterpreted function.  Callers must treat [None] as "may conflict". *)
+let commutes ?(ret1_known = true) ?(ret2_known = true) t (i1 : Invocation.t)
+    (i2 : Invocation.t) : bool option =
+  let f = cond t ~first:i1.Invocation.meth.Invocation.name
+      ~second:i2.Invocation.meth.Invocation.name in
+  match f with
+  | Formula.True -> Some true
+  | Formula.False -> Some false
+  | _ ->
+      let base =
+        Invocation.env
+          ~sfun:(fun name _ _ _ -> raise (Formula.Unsupported name))
+          ~vfun:(fun name args -> vfun t name args)
+          i1 i2
+      in
+      (* An unobserved return value only poisons the conditions that
+         actually read it: [eval] short-circuits, so [ne(a1,a2) \/ …ret…]
+         still decides commutativity of distinct keys before either
+         invocation has executed. *)
+      let ret side =
+        (match side with
+        | Formula.M1 when not ret1_known ->
+            raise (Formula.Unsupported "ret(m1) not yet observed")
+        | Formula.M2 when not ret2_known ->
+            raise (Formula.Unsupported "ret(m2) not yet observed")
+        | _ -> ());
+        base.Formula.ret side
+      in
+      let env = { base with Formula.ret } in
+      (match Formula.eval env f with
+       | b -> Some b
+       | exception Formula.Unsupported _ -> None
+       | exception Value.Type_error _ -> None)

@@ -57,4 +57,17 @@ val classify : t -> Formula.cls
     require every ordered method pair to be covered. *)
 val validate : ?require_total:bool -> t -> unit
 
+(** [commutes t i1 i2] decides commutativity of two {e observed}
+    invocations — the condition for "[i1] first" evaluated on their actual
+    arguments and return values.  [Some true]: the pair commutes here
+    (Definition 1: both orders are equivalent), so a schedule explorer may
+    treat them as independent.  [Some false]: refuted on these values.
+    [None]: undecidable from observations alone — the condition is
+    state-dependent, mentions a return value flagged unknown via
+    [~ret1_known]/[~ret2_known] (both default [true]), or uses an
+    uninterpreted function.  Treat [None] as "may conflict". *)
+val commutes :
+  ?ret1_known:bool -> ?ret2_known:bool -> t -> Invocation.t -> Invocation.t ->
+  bool option
+
 val pp : t Fmt.t

@@ -38,19 +38,27 @@ type stats = {
       (** {!run_rounds}: summed cost of every execution, retries included
           (cost units).  {!run_domains}: summed per-domain busy seconds. *)
   wall_s : float;  (** real elapsed seconds *)
+  backoff_seed : int option;
+      (** {!run_domains}: the seed of the per-domain backoff-jitter RNGs,
+          recorded so a run's backoff behaviour can be reproduced.  [None]
+          for bulk-synchronous runs, which never back off. *)
 }
 
 let pp_rounds ppf = function
   | Some r -> Fmt.int ppf r
   | None -> Fmt.string ppf "-"
 
+let pp_seed ppf = function
+  | Some s -> Fmt.pf ppf " backoff-seed=%d" s
+  | None -> ()
+
 let pp_stats ppf s =
   Fmt.pf ppf
     "committed=%d aborted=%d (abort ratio %.2f%%) rounds=%a makespan=%g \
-     total=%g wall=%.3fs"
+     total=%g wall=%.3fs%a"
     s.committed s.aborted
     (100.0 *. float_of_int s.aborted /. float_of_int (max 1 (s.committed + s.aborted)))
-    pp_rounds s.rounds s.makespan s.total_work s.wall_s
+    pp_rounds s.rounds s.makespan s.total_work s.wall_s pp_seed s.backoff_seed
 
 let abort_ratio s =
   float_of_int s.aborted /. float_of_int (max 1 (s.committed + s.aborted))
@@ -193,6 +201,7 @@ let run_rounds ?(processors = 4) ?(cost = fun _ -> 1.0) ?obs
     makespan = !makespan;
     total_work = !total;
     wall_s = Stats.now_s () -. t0;
+    backoff_seed = None;
   }
 
 (** Plain sequential execution (one item at a time, conflict detection
@@ -276,7 +285,8 @@ let domain_hooks = function
     {!stats}), [makespan = wall_s], [total_work] = summed per-domain busy
     seconds, so {!parallelism} reports effective parallelism
     [total_work /. wall_s]. *)
-let run_domains ?(domains = 2) ?obs ~(detector : Detector.t)
+let run_domains ?(domains = 2) ?(backoff_seed = 0x5eedbacc) ?obs
+    ~(detector : Detector.t)
     ~(operator : Detector.t -> Txn.t -> 'w -> 'w list) (init : 'w list) : stats =
   let dh = domain_hooks obs in
   let det = detector in
@@ -333,8 +343,13 @@ let run_domains ?(domains = 2) ?obs ~(detector : Detector.t)
       go 1
     in
     (* Consecutive failed attempts by this worker: the retry backoff below
-       scales with it, and any successful commit resets it. *)
+       scales with it, and any successful commit resets it.  The RNG
+       jitters each sleep so workers that lost to the same transaction
+       don't wake in lockstep and immediately re-collide; seeding it from
+       [backoff_seed] and the worker index keeps runs reproducible (the
+       seed is recorded in the returned stats). *)
     let setbacks = ref 0 in
+    let rng = Random.State.make [| backoff_seed; me |] in
     let process item =
       let t_item = Stats.now_s () in
       let txn = Txn.fresh () in
@@ -388,9 +403,12 @@ let run_domains ?(domains = 2) ?obs ~(detector : Detector.t)
           Wsdeque.push_front mine item;
           incr setbacks;
           if !setbacks <= 4 then Domain.cpu_relax ()
-          else
-            Unix.sleepf
-              (min 0.002 (5e-5 *. float_of_int (1 lsl min 10 (!setbacks - 4))))
+          else begin
+            let base =
+              min 0.002 (5e-5 *. float_of_int (1 lsl min 10 (!setbacks - 4)))
+            in
+            Unix.sleepf (base *. (0.5 +. Random.State.float rng 1.0))
+          end
       | exception e ->
           let bt = Printexc.get_raw_backtrace () in
           abort_atomically txn;
@@ -442,4 +460,5 @@ let run_domains ?(domains = 2) ?obs ~(detector : Detector.t)
     makespan = wall_s;
     total_work = Array.fold_left ( +. ) 0.0 busy;
     wall_s;
+    backoff_seed = Some backoff_seed;
   }

@@ -37,6 +37,10 @@ type stats = {
       (** {!run_rounds}: summed cost of every execution, retries included
           (cost units).  {!run_domains}: summed per-domain busy seconds. *)
   wall_s : float;  (** real elapsed seconds *)
+  backoff_seed : int option;
+      (** {!run_domains}: seed of the per-domain backoff-jitter RNGs
+          (printed by {!pp_stats} as [backoff-seed=N]); [None] for
+          bulk-synchronous runs *)
 }
 
 val pp_stats : stats Fmt.t
@@ -78,9 +82,15 @@ val run_sequential :
     receives the detector so it can invoke through it on any domain.
     Returned stats have [rounds = None], [makespan = wall_s] and
     [total_work] = summed per-domain busy seconds.  A non-[Conflict]
-    exception from the operator is re-raised after all domains join. *)
+    exception from the operator is re-raised after all domains join.
+
+    Retry backoff sleeps are jittered by per-domain RNGs seeded from
+    [backoff_seed] (and the domain index), so contending workers don't
+    wake in lockstep; the seed is echoed in [stats.backoff_seed] and by
+    {!pp_stats}. *)
 val run_domains :
   ?domains:int ->
+  ?backoff_seed:int ->
   ?obs:Obs.t ->
   detector:Detector.t ->
   operator:(Detector.t -> Txn.t -> 'w -> 'w list) ->

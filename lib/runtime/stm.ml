@@ -47,11 +47,25 @@ let make ?obs:obs_enabled () =
     d_writes = Obs.dist obs "write_set";
   }
 
-(** The tracer to install on the protected ADT(s). *)
+(** The tracer to install on the protected ADT(s).  Each traced access is
+    also a {!Schedpoint} yield point, so the virtual scheduler sees STM
+    read/write granularity (cell accesses happen inside [on_invoke]'s
+    guard, so other invocations cannot interleave — but the announcements
+    make the trace show {e what} the STM conflicts on). *)
 let tracer (t : t) : Mem_trace.t =
   {
-    Mem_trace.read = (fun c -> if t.current >= 0 then t.cur_reads <- c :: t.cur_reads);
-    write = (fun c -> if t.current >= 0 then t.cur_writes <- c :: t.cur_writes);
+    Mem_trace.read =
+      (fun c ->
+        if t.current >= 0 then begin
+          Schedpoint.emit (Schedpoint.Read c);
+          t.cur_reads <- c :: t.cur_reads
+        end);
+    write =
+      (fun c ->
+        if t.current >= 0 then begin
+          Schedpoint.emit (Schedpoint.Write c);
+          t.cur_writes <- c :: t.cur_writes
+        end);
   }
 
 let cell_state t c =

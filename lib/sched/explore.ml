@@ -1,0 +1,441 @@
+(** DPOR-style schedule exploration driven by the commutativity lattice.
+
+    The explorer walks the tree of schedules of a {!Scheduler.instance}
+    depth-first.  Each node is a schedule prefix; running it (prefix
+    choices, then the default lowest-tid policy) yields a concrete trace.
+    For every decision point at or beyond the prefix and every enabled
+    fiber [t] that was {e not} chosen there, a child prefix ending in [t]
+    is pushed — {b unless} partial-order reduction proves the branch
+    redundant: if [t]'s pending action is {e independent} of every step
+    other fibers execute before [t] next runs, executing it earlier
+    commutes step-by-step back to the explored trace, so the branch can
+    only reach already-covered behaviours.
+
+    Independence is where the paper's lattice comes in.  Two actions are
+    independent when the method invocations they belong to {e commute},
+    decided by {!Spec.commutes} on the observed arguments and return
+    values — the same commutativity conditions the conflict detectors
+    enforce at run time prune the model checker's search space.  Lock and
+    STM actions inherit the invocations of their context (an acquire
+    performed inside [invoke add(3)] is part of that [add]); commit/abort
+    actions carry every invocation of their transaction; actions whose
+    commutativity cannot be established (no spec, state-dependent
+    condition, unobserved return value) are conservatively dependent.
+    Same-guard acquires by provably-commuting operations are thus {e not}
+    reordered — sound because a correct detector serializes commuting
+    critical sections into equivalent orders — while any action reachable
+    from an abort path (whose operations include the conflicting
+    invocation) stays dependent, which is exactly what lets the explorer
+    reach lock-order-inversion deadlocks between invocations and aborts.
+
+    A sleep-set refinement prunes sibling re-exploration: after the
+    subtree choosing fiber [c] at decision [k] is scheduled, the sibling
+    branches at [k] carry [(c, fingerprint of c's pending action)] as
+    {e asleep}; within such a branch, re-branching to a still-asleep fiber
+    is skipped (counted as a sleep-set hit) until some executed action
+    dependent with its sleeping action wakes it.
+
+    Failing runs (deadlock, crash, oracle violation) are shrunk greedily —
+    prefix truncation, then single-choice deletion to a fixpoint — and
+    reported with a replayable schedule and a rendered trace. *)
+
+open Commlat_core
+module Obs = Commlat_obs.Obs
+module Jsonx = Commlat_obs.Jsonx
+module Diagnostic = Commlat_analysis.Diagnostic
+
+type config = {
+  por : bool;  (** commutativity pruning (false = explore everything) *)
+  max_schedules : int;  (** run budget for the exploration phase *)
+  max_steps : int;  (** per-run step budget (catches retry livelocks) *)
+}
+
+let default_config = { por = true; max_schedules = 2000; max_steps = 2000 }
+
+type counters = {
+  mutable runs : int;  (** schedules actually executed *)
+  mutable pruned : int;  (** branches dropped by commutativity pruning *)
+  mutable sleep_hits : int;  (** branches dropped by the sleep set *)
+  mutable steps : int;  (** total steps across all runs *)
+  mutable truncated : int;  (** runs that hit the step budget *)
+  mutable shrink_runs : int;  (** extra runs spent shrinking *)
+}
+
+type failure = {
+  f_kind : string;  (** ["deadlock"] | ["crash"] | ["oracle"] *)
+  f_detail : string;
+  f_schedule : int list;  (** shrunk, replayable *)
+  f_trace : string;  (** rendered trace of the shrunk failing run *)
+  f_shrunk_from : int;  (** length of the schedule before shrinking *)
+}
+
+type report = {
+  verdict : failure option;  (** [None] = no counterexample found *)
+  c : counters;
+  exhausted : bool;  (** false: the run budget cut the search short *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The independence relation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The invocations an action belongs to, for commutativity purposes. *)
+let ops_of (info : Trace.info) : Invocation.t list =
+  match info.Trace.i_action with
+  | Schedpoint.Invoke { inv; _ } -> [ inv ]
+  | Schedpoint.Commit _ | Schedpoint.Abort _ -> info.Trace.i_invs
+  | Schedpoint.Acquire _ | Schedpoint.Release _ | Schedpoint.Read _
+  | Schedpoint.Write _ -> (
+      match info.Trace.i_ctx with
+      | Trace.In_invoke inv -> [ inv ]
+      | Trace.In_commit | Trace.In_abort -> info.Trace.i_invs
+      | Trace.Top -> [])
+
+(** Do [i1] (observed first) and [i2] provably commute?  [executed] marks
+    the invocations whose return values are real. *)
+let commute_pair spec executed (i1 : Invocation.t) (i2 : Invocation.t) =
+  match spec with
+  | None -> false
+  | Some s -> (
+      let known i = Hashtbl.mem executed i.Invocation.uid in
+      match
+        Spec.commutes ~ret1_known:(known i1) ~ret2_known:(known i2) s i1 i2
+      with
+      | Some true -> true
+      | Some false | None -> false)
+
+(** [dependent spec executed earlier later]: may the two actions fail to
+    commute?  [earlier] executed (or would execute) before [later]. *)
+let dependent spec executed (earlier : Trace.info) (later : Trace.info) =
+  let a1 = earlier.Trace.i_action and a2 = later.Trace.i_action in
+  match (a1, a2) with
+  (* distinct guards never interact as locks *)
+  | ( (Schedpoint.Acquire g1 | Schedpoint.Release g1),
+      (Schedpoint.Acquire g2 | Schedpoint.Release g2) )
+    when g1 <> g2 -> false
+  (* STM cells: read/read is independent; anything else on one cell is a
+     data conflict *)
+  | ( (Schedpoint.Read c1 | Schedpoint.Write c1),
+      (Schedpoint.Read c2 | Schedpoint.Write c2) ) ->
+      c1 = c2
+      && not
+           (match (a1, a2) with
+           | Schedpoint.Read _, Schedpoint.Read _ -> true
+           | _ -> false)
+  | _ ->
+      (* Same guard, or detector-protocol actions: dependent unless every
+         pair of the invocations they belong to provably commutes.  An
+         empty operation list (action outside any invocation, e.g. a
+         commit that never invoked) is conservatively dependent. *)
+      let ops1 = ops_of earlier and ops2 = ops_of later in
+      not
+        (ops1 <> [] && ops2 <> []
+        && List.for_all
+             (fun i1 ->
+               List.for_all (fun i2 -> commute_pair spec executed i1 i2) ops2)
+             ops1)
+
+(* ------------------------------------------------------------------ *)
+(* Failure classification                                              *)
+(* ------------------------------------------------------------------ *)
+
+let failure_of_run (r : Scheduler.result) : (string * string) option =
+  match r.Scheduler.status with
+  | Scheduler.Deadlock _ ->
+      Some ("deadlock", Fmt.str "%a" Scheduler.pp_status r.Scheduler.status)
+  | Scheduler.Crashed _ ->
+      Some ("crash", Fmt.str "%a" Scheduler.pp_status r.Scheduler.status)
+  | Scheduler.Completed -> (
+      match r.Scheduler.oracle_failure with
+      | Some msg -> Some ("oracle", msg)
+      | None -> None)
+  | Scheduler.Truncated -> None
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Greedy shrink: shortest failing prefix first (the tail is replaced by
+    the deterministic default policy), then delete single choices to a
+    fixpoint.  Same failure {e kind} counts as "still failing". *)
+let shrink ~max_steps ~(c : counters) mk kind (schedule : int list) :
+    int list * Scheduler.result =
+  let fails sched =
+    c.shrink_runs <- c.shrink_runs + 1;
+    let r = Scheduler.run ~max_steps ~schedule:sched mk in
+    c.steps <- c.steps + List.length r.Scheduler.steps;
+    match failure_of_run r with
+    | Some (k, _) when k = kind -> Some r
+    | _ -> None
+  in
+  let arr = Array.of_list schedule in
+  let n = Array.length arr in
+  (* shortest failing prefix, linear scan from the front *)
+  let best = ref (schedule, None) in
+  (try
+     for len = 0 to n - 1 do
+       let cand = Array.to_list (Array.sub arr 0 len) in
+       match fails cand with
+       | Some r ->
+           best := (cand, Some r);
+           raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  let cur = ref (fst !best) in
+  (* single-choice deletion to fixpoint *)
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let a = Array.of_list !cur in
+    (try
+       for i = 0 to Array.length a - 1 do
+         let cand =
+           Array.to_list a |> List.filteri (fun j _ -> j <> i)
+         in
+         match fails cand with
+         | Some r ->
+             cur := cand;
+             best := (cand, Some r);
+             improved := true;
+             raise Exit
+         | None -> ()
+       done
+     with Exit -> ())
+  done;
+  let final_sched = !cur in
+  match snd !best with
+  | Some r -> (final_sched, r)
+  | None ->
+      (* nothing shorter failed; re-run the original for its trace *)
+      let r = Scheduler.run ~max_steps ~schedule:final_sched mk in
+      c.shrink_runs <- c.shrink_runs + 1;
+      (final_sched, r)
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type node = { prefix : int list; sleep : (int * string) list }
+
+let explore ?(config = default_config) ?obs (mk : unit -> Scheduler.instance) :
+    report =
+  let c =
+    {
+      runs = 0;
+      pruned = 0;
+      sleep_hits = 0;
+      steps = 0;
+      truncated = 0;
+      shrink_runs = 0;
+    }
+  in
+  let o_runs, o_pruned, o_sleep =
+    match obs with
+    | Some o ->
+        ( Some (Obs.counter o "schedules_run"),
+          Some (Obs.counter o "schedules_pruned"),
+          Some (Obs.counter o "sleep_set_hits") )
+    | None -> (None, None, None)
+  in
+  let bump cnt = match cnt with Some x -> Obs.incr x | None -> () in
+  let stack = ref [ { prefix = []; sleep = [] } ] in
+  let found : failure option ref = ref None in
+  let spec = (mk ()).Scheduler.spec in
+  while !found = None && !stack <> [] && c.runs < config.max_schedules do
+    match !stack with
+    | [] -> ()
+    | node :: rest ->
+        stack := rest;
+        let r =
+          Scheduler.run ~max_steps:config.max_steps ~schedule:node.prefix mk
+        in
+        c.runs <- c.runs + 1;
+        bump o_runs;
+        c.steps <- c.steps + List.length r.Scheduler.steps;
+        (if r.Scheduler.status = Scheduler.Truncated then
+           c.truncated <- c.truncated + 1);
+        (match failure_of_run r with
+        | Some (kind, _) ->
+            let sched, rr =
+              shrink ~max_steps:config.max_steps ~c mk kind
+                r.Scheduler.choices
+            in
+            let detail =
+              match failure_of_run rr with
+              | Some (_, d) -> d
+              | None -> "failure did not reproduce on shrunk schedule"
+            in
+            found :=
+              Some
+                {
+                  f_kind = kind;
+                  f_detail = detail;
+                  f_schedule = sched;
+                  f_trace = Trace.render rr.Scheduler.steps;
+                  f_shrunk_from = List.length r.Scheduler.choices;
+                }
+        | None ->
+            (* generate children at decisions >= |prefix| *)
+            let steps = Array.of_list r.Scheduler.steps in
+            let nsteps = Array.length steps in
+            let choices = Array.of_list r.Scheduler.choices in
+            let plen = List.length node.prefix in
+            (* next index >= k at which fiber t executes, or nsteps *)
+            let next_exec k t =
+              let rec go j =
+                if j >= nsteps then nsteps
+                else if steps.(j).Trace.s_tid = t then j
+                else go (j + 1)
+              in
+              go k
+            in
+            let must_branch k t (alt : Trace.info) =
+              if not config.por then true
+              else begin
+                let m = next_exec k t in
+                let rec scan j =
+                  j < m
+                  && (dependent spec r.Scheduler.executed
+                        steps.(j).Trace.s_info alt
+                     || scan (j + 1))
+                in
+                scan k
+              end
+            in
+            (* sleep bookkeeping: walk decisions in order, waking entries
+               when a dependent action executes; collect children *)
+            let children = ref [] in
+            let asleep = ref node.sleep in
+            let prefix_steps = ref [] (* steps.(0..k-1), reversed *) in
+            for k = 0 to nsteps - 1 do
+              let st = steps.(k) in
+              (if k >= plen then
+                 let explored_here =
+                   (* siblings already scheduled at this decision: the
+                      chosen fiber first, then alternatives as we push
+                      them *)
+                   ref
+                     [
+                       ( st.Trace.s_tid,
+                         Trace.fingerprint (List.rev !prefix_steps)
+                           st.Trace.s_tid st.Trace.s_info );
+                     ]
+                 in
+                 List.iter
+                   (fun (t, _att, alt) ->
+                     let fp =
+                       Trace.fingerprint (List.rev !prefix_steps) t alt
+                     in
+                     if List.mem (t, fp) !asleep then begin
+                       c.sleep_hits <- c.sleep_hits + 1;
+                       bump o_sleep
+                     end
+                     else if not (must_branch k t alt) then begin
+                       c.pruned <- c.pruned + 1;
+                       bump o_pruned
+                     end
+                     else begin
+                       let child_prefix =
+                         Array.to_list (Array.sub choices 0 k) @ [ t ]
+                       in
+                       children :=
+                         { prefix = child_prefix; sleep = !explored_here }
+                         :: !children;
+                       explored_here := (t, fp) :: !explored_here
+                     end)
+                   st.Trace.s_alts);
+              (* wake sleeping entries the executed step conflicts with *)
+              asleep :=
+                List.filter
+                  (fun (t, fp) ->
+                    if t = st.Trace.s_tid then false
+                    else
+                      match
+                        List.find_opt
+                          (fun (t', _, _) -> t' = t)
+                          st.Trace.s_alts
+                      with
+                      | Some (_, _, pend)
+                        when Trace.fingerprint (List.rev !prefix_steps) t pend
+                             = fp ->
+                          not
+                            (dependent spec r.Scheduler.executed
+                               st.Trace.s_info pend)
+                      | _ -> true)
+                  !asleep;
+              prefix_steps := st :: !prefix_steps
+            done;
+            (* depth-first: push children so the LAST decision's branches
+               are explored first *)
+            stack := List.rev_append (List.rev !children) !stack)
+  done;
+  {
+    verdict = !found;
+    c;
+    exhausted = (!found <> None) || !stack = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Replay one schedule; used by the CLI's [--replay] and the pinned
+    regression tests. *)
+let replay ?(max_steps = default_config.max_steps) ~schedule mk :
+    Scheduler.result =
+  Scheduler.run ~max_steps ~schedule mk
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let diagnostics_of_failure ~workload (f : failure) : Diagnostic.t list =
+  [
+    Diagnostic.make ~spec:workload ~sev:Diagnostic.Error ~code:f.f_kind
+      "schedule %s: %s (shrunk from %d to %d choices)"
+      (String.concat "," (List.map string_of_int f.f_schedule))
+      f.f_detail f.f_shrunk_from
+      (List.length f.f_schedule);
+  ]
+
+let json_of_report ~workload ~detector ~txns ~(config : config) ?obs_snapshot
+    (r : report) : Jsonx.t =
+  let fail_json =
+    match r.verdict with
+    | None -> Jsonx.Null
+    | Some f ->
+        Jsonx.Obj
+          [
+            ("kind", Jsonx.Str f.f_kind);
+            ("detail", Jsonx.Str f.f_detail);
+            ( "schedule",
+              Jsonx.List (List.map (fun t -> Jsonx.Int t) f.f_schedule) );
+            ("shrunk_from_length", Jsonx.Int f.f_shrunk_from);
+            ("trace", Jsonx.Str f.f_trace);
+          ]
+  in
+  Jsonx.Obj
+    ([
+       ("schema", Jsonx.Str "commlat-explore/1");
+       ("workload", Jsonx.Str workload);
+       ("detector", Jsonx.Str detector);
+       ("txns", Jsonx.Int txns);
+       ("por", Jsonx.Bool config.por);
+       ("max_schedules", Jsonx.Int config.max_schedules);
+       ("max_steps", Jsonx.Int config.max_steps);
+       ("schedules_run", Jsonx.Int r.c.runs);
+       ("schedules_pruned", Jsonx.Int r.c.pruned);
+       ("sleep_set_hits", Jsonx.Int r.c.sleep_hits);
+       ("steps_total", Jsonx.Int r.c.steps);
+       ("truncated_runs", Jsonx.Int r.c.truncated);
+       ("shrink_runs", Jsonx.Int r.c.shrink_runs);
+       ("exhausted", Jsonx.Bool r.exhausted);
+       ( "verdict",
+         Jsonx.Str (match r.verdict with None -> "ok" | Some _ -> "counterexample")
+       );
+       ("counterexample", fail_json);
+     ]
+    @ match obs_snapshot with
+      | Some s -> [ ("obs", Obs.snapshot_to_json s) ]
+      | None -> [])

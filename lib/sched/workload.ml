@@ -1,0 +1,227 @@
+(** Ready-made exploration workloads over the shipped ADTs.
+
+    Each workload is a deterministic plan — [txns] transactions of a few
+    method calls each, generated from a seed — plus a factory building a
+    fresh instance (ADT, detector via {!Protect.protect}, serializability
+    oracle against the ADT's reference {!History.model}) for every run.
+
+    Scheme support follows the lattice: the set and kvmap specs are
+    SIMPLE/ONLINE-CHECKABLE, so they explore under the global lock,
+    abstract locking and the forward gatekeeper (sharded variants
+    included); union-find's spec is GENERAL (state-dependent), so it needs
+    the general gatekeeper — or the STM baseline, which traces its
+    concrete cells.  Unsupported combinations return [Error] with the
+    reason. *)
+
+open Commlat_core
+open Commlat_adts
+open Commlat_runtime
+
+type t = {
+  w_name : string;
+  w_detector : string;  (** scheme spelling, for reports *)
+  w_txns : int;
+  make : unit -> Scheduler.instance;
+}
+
+let names = [ "set"; "kvmap"; "union-find" ]
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let serializability_oracle (model : History.model) final history =
+  if History.serializable model ~final:(final ()) history then None
+  else Some "committed history is not serializable against the reference model"
+
+(** One [Boost.invoke] call: the invocation travels through the conflict
+    detector with the ADT's undo action registered for rollback. *)
+let call ~det ~txn ~undo meth args exec =
+  ignore (Boost.invoke det txn ~undo meth args exec)
+
+let check_scheme ~what mk =
+  match mk () with
+  | (_ : Scheduler.instance) -> Ok ()
+  | exception Invalid_argument msg -> Error (Fmt.str "%s: %s" what msg)
+
+(* ------------------------------------------------------------------ *)
+(* Set                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let set ?(txns = 3) ?(ops_per_txn = 2) ?(keys = 12) ?(seed = 42)
+    (scheme : Protect.scheme) : (t, string) result =
+  let rng = Random.State.make [| 0x5e7; seed |] in
+  let plan =
+    Array.init txns (fun _ ->
+        List.init ops_per_txn (fun _ ->
+            let k = Random.State.int rng keys in
+            let m =
+              match Random.State.int rng 3 with
+              | 0 -> Iset.m_add
+              | 1 -> Iset.m_remove
+              | _ -> Iset.m_contains
+            in
+            (m, k)))
+  in
+  let spec =
+    (* abstract locking needs the SIMPLE strengthening; everything else
+       gets the precise Fig. 2 spec *)
+    match scheme with
+    | Protect.Abstract_lock | Protect.Sharded (Protect.Abstract_lock, _)
+    | Protect.Global_lock ->
+        Iset.simple_spec ()
+    | _ -> Iset.precise_spec ()
+  in
+  let make () =
+    let s = Iset.create () in
+    let det =
+      Protect.protect ~obs:true ~spec
+        ~adt:(Protect.adt ~hooks:(Iset.hooks s) ())
+        scheme
+    in
+    let body ops ~det ~txn =
+      List.iter
+        (fun ((m : Invocation.meth), k) ->
+          call ~det ~txn ~undo:(Iset.undo s) m
+            [| Value.Int k |]
+            (fun inv -> Iset.exec s m.Invocation.name inv.Invocation.args))
+        ops
+    in
+    let model = Iset.model () in
+    let final () = Value.List (Iset.elements s) in
+    {
+      Scheduler.det;
+      spec = Some spec;
+      tasks = Array.map (fun ops -> { Scheduler.body = body ops }) plan;
+      final;
+      oracle = serializability_oracle model final;
+    }
+  in
+  Result.map
+    (fun () ->
+      { w_name = "set"; w_detector = Protect.scheme_name scheme; w_txns = txns; make })
+    (check_scheme ~what:"set" make)
+
+(* ------------------------------------------------------------------ *)
+(* Kvmap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let kvmap ?(txns = 3) ?(ops_per_txn = 2) ?(keys = 12) ?(seed = 42)
+    (scheme : Protect.scheme) : (t, string) result =
+  let rng = Random.State.make [| 0x4b7; seed |] in
+  let plan =
+    Array.init txns (fun _ ->
+        List.init ops_per_txn (fun _ ->
+            let k = Value.Int (Random.State.int rng keys) in
+            match Random.State.int rng 3 with
+            | 0 -> (Kvmap.m_put, [| k; Value.Int (Random.State.int rng 100) |])
+            | 1 -> (Kvmap.m_get, [| k |])
+            | _ -> (Kvmap.m_remove, [| k |])))
+  in
+  let spec =
+    match scheme with
+    | Protect.Abstract_lock | Protect.Sharded (Protect.Abstract_lock, _)
+    | Protect.Global_lock ->
+        Kvmap.simple_spec ()
+    | _ -> Kvmap.precise_spec ()
+  in
+  let make () =
+    let m = Kvmap.create () in
+    let det =
+      Protect.protect ~obs:true ~spec
+        ~adt:(Protect.adt ~hooks:(Kvmap.hooks m) ())
+        scheme
+    in
+    let body ops ~det ~txn =
+      List.iter
+        (fun ((meth : Invocation.meth), args) ->
+          call ~det ~txn ~undo:(Kvmap.undo m) meth args (fun inv ->
+              Kvmap.exec m meth.Invocation.name inv.Invocation.args))
+        ops
+    in
+    let model = Kvmap.model () in
+    let final () =
+      Value.List
+        (List.map (fun (k, v) -> Value.Pair (k, v)) (Kvmap.bindings m))
+    in
+    {
+      Scheduler.det;
+      spec = Some spec;
+      tasks = Array.map (fun ops -> { Scheduler.body = body ops }) plan;
+      final;
+      oracle = serializability_oracle model final;
+    }
+  in
+  Result.map
+    (fun () ->
+      { w_name = "kvmap"; w_detector = Protect.scheme_name scheme; w_txns = txns; make })
+    (check_scheme ~what:"kvmap" make)
+
+(* ------------------------------------------------------------------ *)
+(* Union-find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let union_find ?(txns = 3) ?(ops_per_txn = 2) ?(elements = 8) ?(seed = 42)
+    (scheme : Protect.scheme) : (t, string) result =
+  let rng = Random.State.make [| 0x0f; seed |] in
+  let plan =
+    Array.init txns (fun _ ->
+        List.init ops_per_txn (fun _ ->
+            let a = Random.State.int rng elements in
+            if Random.State.int rng 2 = 0 then
+              let b = Random.State.int rng elements in
+              (Union_find.m_union, [| Value.Int a; Value.Int b |])
+            else (Union_find.m_find, [| Value.Int a |])))
+  in
+  let make () =
+    let uf = Union_find.create () in
+    ignore (Union_find.create_elements uf elements);
+    let spec = Union_find.spec () in
+    let det =
+      Protect.protect ~obs:true ~spec
+        ~adt:
+          (Protect.adt ~hooks:(Union_find.hooks uf)
+             ~connect_tracer:(Union_find.set_tracer uf) ())
+        scheme
+    in
+    let body ops ~det ~txn =
+      List.iter
+        (fun ((meth : Invocation.meth), args) ->
+          call ~det ~txn ~undo:(Union_find.undo uf) meth args (fun inv ->
+              Union_find.exec_logged uf inv))
+        ops
+    in
+    let model = Union_find.model ~elements () in
+    let final () = Union_find.partition_snapshot uf in
+    {
+      Scheduler.det;
+      spec = Some spec;
+      tasks = Array.map (fun ops -> { Scheduler.body = body ops }) plan;
+      final;
+      oracle = serializability_oracle model final;
+    }
+  in
+  Result.map
+    (fun () ->
+      {
+        w_name = "union-find";
+        w_detector = Protect.scheme_name scheme;
+        w_txns = txns;
+        make;
+      })
+    (check_scheme ~what:"union-find" make)
+
+(* ------------------------------------------------------------------ *)
+(* By name                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let by_name ?txns ?ops_per_txn ?seed name (scheme : Protect.scheme) :
+    (t, string) result =
+  match name with
+  | "set" -> set ?txns ?ops_per_txn ?seed scheme
+  | "kvmap" -> kvmap ?txns ?ops_per_txn ?seed scheme
+  | "union-find" | "union_find" -> union_find ?txns ?ops_per_txn ?seed scheme
+  | other ->
+      Error
+        (Fmt.str "unknown workload %S (expected %s)" other
+           (String.concat ", " names))

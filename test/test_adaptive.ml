@@ -137,14 +137,16 @@ let test_boruvka_adaptive () =
           let det =
             match variant with
             | `Gk ->
-                fst
-                  (Gatekeeper.general
-                     ~hooks:(Union_find.hooks t.Boruvka.uf)
-                     (Union_find.spec ()))
+                Protect.protect ~spec:(Union_find.spec ())
+                  ~adt:(Protect.adt ~hooks:(Union_find.hooks t.Boruvka.uf) ())
+                  Protect.General_gk
             | `Ml ->
-                let det, tracer = Stm.create () in
-                Union_find.set_tracer t.Boruvka.uf tracer;
-                det
+                Protect.protect ~spec:(Union_find.spec ())
+                  ~adt:
+                    (Protect.adt
+                       ~connect_tracer:(Union_find.set_tracer t.Boruvka.uf)
+                       ())
+                  Protect.Stm
           in
           result := [];
           let operator txn item =

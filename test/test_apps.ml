@@ -52,10 +52,19 @@ let test_reference_kruskal () =
 (* ------------------------------------------------------------- *)
 
 let preflow_detector (p : Preflow_push.problem) = function
-  | `Rw -> Abstract_lock.detector (Flow_graph.spec_rw ())
-  | `Ex -> Abstract_lock.detector (Flow_graph.spec_exclusive ())
-  | `Part -> Abstract_lock.detector (Flow_graph.spec_partitioned ~nparts:32 ())
-  | `Global -> Detector.global_lock ()
+  | `Rw ->
+      Protect.protect ~spec:(Flow_graph.spec_rw ()) ~adt:(Protect.adt ())
+        Protect.Abstract_lock
+  | `Ex ->
+      Protect.protect ~spec:(Flow_graph.spec_exclusive ()) ~adt:(Protect.adt ())
+        Protect.Abstract_lock
+  | `Part ->
+      Protect.protect
+        ~spec:(Flow_graph.spec_partitioned ~nparts:32 ())
+        ~adt:(Protect.adt ()) Protect.Abstract_lock
+  | `Global ->
+      Protect.protect ~spec:(Flow_graph.spec_rw ()) ~adt:(Protect.adt ())
+        Protect.Global_lock
   | `None ->
       ignore p;
       Detector.none
@@ -108,12 +117,17 @@ let test_preflow_parallelism_ordering () =
 (* ------------------------------------------------------------- *)
 
 let boruvka_detectors (t : Boruvka.t) = function
-  | `Gk -> fst (Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ()))
+  | `Gk ->
+      Protect.protect ~spec:(Union_find.spec ())
+        ~adt:(Protect.adt ~hooks:(Union_find.hooks t.Boruvka.uf) ())
+        Protect.General_gk
   | `Ml ->
-      let det, tracer = Stm.create () in
-      Union_find.set_tracer t.Boruvka.uf tracer;
-      det
-  | `Global -> Detector.global_lock ()
+      Protect.protect ~spec:(Union_find.spec ())
+        ~adt:(Protect.adt ~connect_tracer:(Union_find.set_tracer t.Boruvka.uf) ())
+        Protect.Stm
+  | `Global ->
+      Protect.protect ~spec:(Union_find.spec ()) ~adt:(Protect.adt ())
+        Protect.Global_lock
   | `None -> Detector.none
 
 let run_boruvka mesh variant ~processors =
@@ -163,12 +177,18 @@ let test_boruvka_processor_sweep () =
 (* ------------------------------------------------------------- *)
 
 let clustering_detector (t : Clustering.t) = function
-  | `Gk -> fst (Gatekeeper.forward ~hooks:(Kdtree.hooks t.Clustering.tree) (Kdtree.spec ()))
+  | `Gk ->
+      Protect.protect ~spec:(Kdtree.spec ())
+        ~adt:(Protect.adt ~hooks:(Kdtree.hooks t.Clustering.tree) ())
+        Protect.Forward_gk
   | `Ml ->
-      let det, tracer = Stm.create () in
-      Kdtree.set_tracer t.Clustering.tree tracer;
-      det
-  | `Global -> Detector.global_lock ()
+      Protect.protect ~spec:(Kdtree.spec ())
+        ~adt:
+          (Protect.adt ~connect_tracer:(Kdtree.set_tracer t.Clustering.tree) ())
+        Protect.Stm
+  | `Global ->
+      Protect.protect ~spec:(Kdtree.spec ()) ~adt:(Protect.adt ())
+        Protect.Global_lock
   | `None -> Detector.none
 
 let run_clustering pts variant ~processors =

@@ -108,7 +108,7 @@ let acc_operator acc det (txn : Txn.t) x =
 
 let test_domains_stats_honest () =
   let acc = Accumulator.create () in
-  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Abstract_lock in
   let s =
     Executor.run_domains ~domains:2 ~detector:det
       ~operator:(fun det txn x -> acc_operator acc det txn x)
@@ -147,7 +147,7 @@ let test_commit_hook_failure_is_atomic () =
      counted the commit BEFORE running the hook) *)
   let obs = Obs.create ~enabled:true "hook" in
   let acc = Accumulator.create () in
-  let inner = Abstract_lock.detector (Accumulator.spec ()) in
+  let inner = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Abstract_lock in
   let commits = ref 0 in
   let det =
     {
@@ -191,11 +191,23 @@ let sorted_elements set = List.sort compare (Iset.elements set)
 
 let set_detectors : (string * (Iset.t -> Detector.t)) list =
   [
-    ("global-lock", fun _ -> Detector.global_lock ());
-    ("abslock-excl", fun _ -> Abstract_lock.detector (Iset.exclusive_spec ()));
-    ("abslock-rw", fun _ -> Abstract_lock.detector (Iset.simple_spec ()));
+    ( "global-lock",
+      fun _ ->
+        Protect.protect ~spec:(Iset.exclusive_spec ()) ~adt:(Protect.adt ())
+          Protect.Global_lock );
+    ( "abslock-excl",
+      fun _ ->
+        Protect.protect ~spec:(Iset.exclusive_spec ()) ~adt:(Protect.adt ())
+          Protect.Abstract_lock );
+    ( "abslock-rw",
+      fun _ ->
+        Protect.protect ~spec:(Iset.simple_spec ()) ~adt:(Protect.adt ())
+          Protect.Abstract_lock );
     ( "fwd-gk",
-      fun set -> fst (Gatekeeper.forward ~hooks:(Iset.hooks set) (Iset.precise_spec ())) );
+      fun set ->
+        Protect.protect ~spec:(Iset.precise_spec ())
+          ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+          Protect.Forward_gk );
     (* footprint-sharded/striped variants must report exactly the same
        conflicts as their unsharded counterparts *)
     ( "fwd-gk-sharded",
@@ -317,8 +329,10 @@ let test_boruvka_equivalence () =
   let expected = Reference.mst_weight ~n:mesh.Mesh.nodes mesh.Mesh.edges in
   let run_seq () =
     let t = Boruvka.create ~mesh () in
-    let det, _ =
-      Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ())
+    let det =
+      Protect.protect ~spec:(Union_find.spec ())
+        ~adt:(Protect.adt ~hooks:(Union_find.hooks t.Boruvka.uf) ())
+        Protect.General_gk
     in
     ignore
       (Executor.run_sequential
@@ -331,8 +345,10 @@ let test_boruvka_equivalence () =
   List.iter
     (fun d ->
       let t = Boruvka.create ~mesh () in
-      let det, _ =
-        Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ())
+      let det =
+        Protect.protect ~spec:(Union_find.spec ())
+          ~adt:(Protect.adt ~hooks:(Union_find.hooks t.Boruvka.uf) ())
+          Protect.General_gk
       in
       ignore
         (Executor.run_domains ~domains:d
@@ -349,7 +365,14 @@ let test_stm_equivalence () =
   (* one traced cell, commutative increments: memory-level detection makes
      every concurrent pair conflict, hammering the abort/retry path *)
   let run d =
-    let stm_det, tracer = Stm.create () in
+    let tr = ref Mem_trace.null in
+    let stm_det =
+      Protect.protect
+        ~spec:(Iset.exclusive_spec ())
+        ~adt:(Protect.adt ~connect_tracer:(fun t -> tr := t) ())
+        Protect.Stm
+    in
+    let tracer = !tr in
     let cell = ref 0 in
     let meth = Invocation.meth "op" 0 in
     let operator _det (txn : Txn.t) (x : int) =
@@ -383,7 +406,10 @@ let test_stress_retries_and_stealing () =
      the pending-counter termination protocol in one run.  Items are
      (depth, value) chains; every link increments once. *)
   let acc = Accumulator.create () in
-  let det = Detector.global_lock () in
+  let det =
+    Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ())
+      Protect.Global_lock
+  in
   let depth = 5 in
   let roots = List.init 16 (fun i -> (depth, i + 1)) in
   let operator det (txn : Txn.t) (d, v) =

@@ -17,7 +17,7 @@ let acc_operator acc det (txn : Txn.t) x =
 let test_all_commute () =
   (* increments all commute: one round at P >= n, zero aborts *)
   let acc = Accumulator.create () in
-  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Abstract_lock in
   let items = List.init 10 (fun i -> i + 1) in
   let s = Executor.run_rounds ~processors:16 ~detector:det ~operator:(acc_operator acc det) items in
   check_int "one round" 1 (Executor.rounds_exn s);
@@ -27,7 +27,7 @@ let test_all_commute () =
 
 let test_serialized_by_global_lock () =
   let acc = Accumulator.create () in
-  let det = Detector.global_lock () in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Global_lock in
   let items = List.init 10 (fun i -> i + 1) in
   let s = Executor.run_rounds ~processors:4 ~detector:det ~operator:(acc_operator acc det) items in
   (* each round admits exactly the first txn; the other three abort *)
@@ -39,7 +39,7 @@ let test_first_in_round_commits () =
   (* progress guarantee: with the retry-at-front policy the executor always
      terminates even under a global lock at high processor counts *)
   let acc = Accumulator.create () in
-  let det = Detector.global_lock () in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Global_lock in
   let items = List.init 50 (fun i -> i) in
   let s =
     Executor.run_rounds ~processors:max_int ~detector:det
@@ -72,7 +72,7 @@ let test_cost_accounting () =
 let test_rollback_on_abort () =
   (* aborted txn's increment must be rolled back exactly once *)
   let acc = Accumulator.create () in
-  let det = Detector.global_lock () in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Global_lock in
   let items = [ 1; 2; 3; 4 ] in
   ignore (Executor.run_rounds ~processors:4 ~detector:det ~operator:(acc_operator acc det) items);
   check_int "sum exact" 10 (Accumulator.read acc)
@@ -83,7 +83,7 @@ let test_rollback_on_abort () =
 
 let test_parameter_independent () =
   let acc = Accumulator.create () in
-  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Abstract_lock in
   let p =
     Parameter.profile ~detector:det ~operator:(acc_operator acc det)
       (List.init 64 (fun i -> i))
@@ -93,7 +93,7 @@ let test_parameter_independent () =
 
 let test_parameter_serial () =
   let acc = Accumulator.create () in
-  let det = Detector.global_lock () in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Global_lock in
   let p =
     Parameter.profile ~detector:det ~operator:(acc_operator acc det)
       (List.init 16 (fun i -> i))
@@ -107,7 +107,7 @@ let test_parameter_serial () =
 
 let test_domains_accumulator () =
   let acc = Accumulator.create () in
-  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Abstract_lock in
   let items = List.init 100 (fun i -> i + 1) in
   let s =
     Executor.run_domains ~domains:3 ~detector:det
@@ -122,7 +122,11 @@ let test_domains_accumulator () =
 
 let test_domains_set_gatekeeper () =
   let set = Iset.create () in
-  let det, _ = Gatekeeper.forward ~hooks:(Iset.hooks set) (Iset.precise_spec ()) in
+  let det =
+    Protect.protect ~spec:(Iset.precise_spec ())
+      ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+      Protect.Forward_gk
+  in
   let items = List.init 200 (fun i -> i mod 20) in
   let s =
     Executor.run_domains ~domains:3 ~detector:det
@@ -143,8 +147,10 @@ let test_domains_boruvka () =
   let open Commlat_apps in
   let mesh = Mesh.generate ~rows:6 ~cols:6 () in
   let t = Boruvka.create ~mesh () in
-  let det, _ =
-    Gatekeeper.general ~hooks:(Union_find.hooks t.Boruvka.uf) (Union_find.spec ())
+  let det =
+    Protect.protect ~spec:(Union_find.spec ())
+      ~adt:(Protect.adt ~hooks:(Union_find.hooks t.Boruvka.uf) ())
+      Protect.General_gk
   in
   let s =
     Executor.run_domains ~domains:2
@@ -167,7 +173,7 @@ let test_domains_operator_exception () =
      rolls the poisoned transaction back, stops all workers and re-raises
      from run_domains after the domains have joined. *)
   let acc = Accumulator.create () in
-  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Abstract_lock in
   let operator det txn x =
     Accumulator.invoke_increment det acc ~txn:(Txn.id txn) x;
     Txn.push_undo txn (fun () -> Accumulator.increment acc (-x));
@@ -186,7 +192,7 @@ let test_domains_exception_rolls_back () =
      exception escapes: with the poison as only work item, the shared
      state ends exactly where it started *)
   let acc = Accumulator.create () in
-  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Abstract_lock in
   let operator det txn x =
     Accumulator.invoke_increment det acc ~txn:(Txn.id txn) x;
     Txn.push_undo txn (fun () -> Accumulator.increment acc (-x));

@@ -104,7 +104,11 @@ let test_executor_serializable =
                      ]))))
        (fun txn_specs ->
          let t = Kvmap.create () in
-         let det, _ = Gatekeeper.forward ~hooks:(Kvmap.hooks t) (Kvmap.precise_spec ()) in
+         let det =
+           Protect.protect ~spec:(Kvmap.precise_spec ())
+             ~adt:(Protect.adt ~hooks:(Kvmap.hooks t) ())
+             Protect.Forward_gk
+         in
          let recorded = ref [] in
          let operator (txn : Txn.t) ops =
            let invs =
@@ -132,7 +136,10 @@ let test_executor_serializable =
 (* the derived SIMPLE core is lockable and runs *)
 let test_lock_scheme () =
   let t = Kvmap.create () in
-  let det = Abstract_lock.detector (Kvmap.simple_spec ()) in
+  let det =
+    Protect.protect ~spec:(Kvmap.simple_spec ()) ~adt:(Protect.adt ())
+      Protect.Abstract_lock
+  in
   let invoke txn m args =
     let meth = List.find (fun (x : Invocation.meth) -> x.Invocation.name = m) Kvmap.methods in
     let inv = Invocation.make ~txn meth args in

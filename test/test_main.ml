@@ -25,4 +25,5 @@ let () =
       ("apps", Test_apps.suite);
       ("adaptive", Test_adaptive.suite);
       ("obs", Test_obs.suite);
+      ("sched", Test_sched.suite);
     ]

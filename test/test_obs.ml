@@ -140,7 +140,7 @@ let acc_operator acc det (txn : Txn.t) x =
 let test_executor_obs_matches_stats () =
   let obs = Obs.create ~enabled:true ~trace:8 "exec" in
   let acc = Accumulator.create () in
-  let det = Detector.global_lock () in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Global_lock in
   let s =
     Executor.run_rounds ~processors:4 ~obs ~detector:det
       ~operator:(acc_operator acc det)
@@ -162,7 +162,7 @@ let test_executor_obs_matches_stats () =
 let test_executor_domains_obs () =
   let obs = Obs.create ~enabled:true "domains" in
   let acc = Accumulator.create () in
-  let det = Abstract_lock.detector (Accumulator.spec ()) in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Abstract_lock in
   let s =
     Executor.run_domains ~domains:3 ~obs ~detector:det
       ~operator:(fun det txn x -> acc_operator acc det txn x)
@@ -198,7 +198,7 @@ let set_operator set det (txn : Txn.t) (v : int) =
 
 let test_global_lock_snapshot () =
   let acc = Accumulator.create () in
-  let det = Detector.global_lock () in
+  let det = Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ()) Protect.Global_lock in
   let s =
     Executor.run_rounds ~processors:4 ~detector:det
       ~operator:(acc_operator acc det)
@@ -215,7 +215,7 @@ let test_global_lock_snapshot () =
 let test_abstract_lock_snapshot () =
   (* uncontended: distinct keys, no denials *)
   let set = Iset.create () in
-  let det = Abstract_lock.detector (Iset.simple_spec ()) in
+  let det = Protect.protect ~spec:(Iset.simple_spec ()) ~adt:(Protect.adt ()) Protect.Abstract_lock in
   let s =
     Executor.run_rounds ~processors:4 ~detector:det
       ~operator:(set_operator set det) (List.init 30 Fun.id)
@@ -227,7 +227,7 @@ let test_abstract_lock_snapshot () =
   check_int "no denials" 0 (Obs.counter_value snap "lock_denials");
   (* contended: everything hits the same key *)
   let set = Iset.create () in
-  let det = Abstract_lock.detector (Iset.simple_spec ()) in
+  let det = Protect.protect ~spec:(Iset.simple_spec ()) ~adt:(Protect.adt ()) Protect.Abstract_lock in
   let s =
     Executor.run_rounds ~processors:4 ~detector:det
       ~operator:(set_operator set det)
@@ -286,7 +286,14 @@ let test_general_gatekeeper_rollbacks () =
 let test_stm_snapshot () =
   (* a toy traced one-cell ADT: every operation reads and writes cell 0,
      so concurrent transactions conflict at the memory level *)
-  let stm_det, tracer = Stm.create () in
+  let tr = ref Mem_trace.null in
+  let stm_det =
+    (* the spec argument is ignored by the STM baseline *)
+    Protect.protect ~spec:(Accumulator.spec ())
+      ~adt:(Protect.adt ~connect_tracer:(fun t -> tr := t) ())
+      Protect.Stm
+  in
+  let tracer = !tr in
   let cell = ref 0 in
   let meth = Invocation.meth "op" 0 in
   let operator (txn : Txn.t) (x : int) =
@@ -318,7 +325,11 @@ let test_stm_snapshot () =
     (Obs.total_labels snap ~cat:"abort_cause" > 0)
 
 let test_compose_merges_snapshots () =
-  let d1 = Detector.global_lock () and d2 = Detector.global_lock () in
+  let mk () =
+    Protect.protect ~spec:(Accumulator.spec ()) ~adt:(Protect.adt ())
+      Protect.Global_lock
+  in
+  let d1 = mk () and d2 = mk () in
   let acc = Accumulator.create () in
   List.iter
     (fun det ->

@@ -69,7 +69,10 @@ let test_boost_undo_on_post_exec_conflict () =
 let test_boost_no_undo_when_never_executed () =
   (* pre-execution conflict (abstract locks): ret stays Unit, undo no-op *)
   let set = Iset.create () in
-  let det = Abstract_lock.detector (Iset.exclusive_spec ()) in
+  let det =
+    Protect.protect ~spec:(Iset.exclusive_spec ()) ~adt:(Protect.adt ())
+      Protect.Abstract_lock
+  in
   let t1 = Txn.fresh () and t2 = Txn.fresh () in
   ignore
     (Boost.invoke det t1 ~undo:(Iset.undo set) Iset.m_add [| Value.Int 1 |]
@@ -129,7 +132,10 @@ let test_retry_at_front () =
   (* items: A conflicts while X is active; after X commits, A runs first
      (retry-at-front) — observable through execution order *)
   let order = ref [] in
-  let det = Detector.global_lock () in
+  let det =
+    Protect.protect ~spec:(Iset.exclusive_spec ()) ~adt:(Protect.adt ())
+      Protect.Global_lock
+  in
   let operator (txn : Txn.t) item =
     order := item :: !order;
     (* touch the structure so the lock engages *)
@@ -162,7 +168,10 @@ let test_stats_invariants =
            Gen.(pair (int_range 1 8) (list_size (int_bound 30) (int_bound 5))))
        (fun (p, items) ->
          let set = Iset.create () in
-         let det = Abstract_lock.detector (Iset.simple_spec ()) in
+         let det =
+           Protect.protect ~spec:(Iset.simple_spec ()) ~adt:(Protect.adt ())
+             Protect.Abstract_lock
+         in
          let s =
            Executor.run_rounds ~processors:p ~detector:det
              ~operator:(fun txn v ->

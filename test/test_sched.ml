@@ -1,0 +1,249 @@
+(* Schedule explorer (lib/sched): deterministic replay, commutativity
+   (DPOR-style) pruning, and the seeded ABBA lock-order-inversion bug. *)
+
+open Commlat_runtime
+open Commlat_sched
+module Obs = Commlat_obs.Obs
+module Jsonx = Commlat_obs.Jsonx
+
+let mk_set ?(txns = 3) scheme =
+  match Workload.set ~txns ~ops_per_txn:2 ~seed:7 scheme with
+  | Ok w -> w
+  | Error e -> Alcotest.fail e
+
+let snapshot_text (s : Obs.snapshot) = Jsonx.to_string (Obs.snapshot_to_json s)
+
+(* ---- determinism: same schedule -> byte-identical trace, identical obs
+   snapshot, identical final state -- per detector scheme ---- *)
+
+let test_replay_determinism () =
+  List.iter
+    (fun scheme ->
+      let w = mk_set scheme in
+      let name = Protect.scheme_name scheme in
+      (* record a run, then replay its choices twice *)
+      let r0 = Scheduler.run ~schedule:[] w.Workload.make in
+      let r1 = Explore.replay ~schedule:r0.Scheduler.choices w.Workload.make in
+      let r2 = Explore.replay ~schedule:r0.Scheduler.choices w.Workload.make in
+      Alcotest.(check string)
+        (name ^ ": trace is byte-identical across replays")
+        (Trace.render r1.Scheduler.steps)
+        (Trace.render r2.Scheduler.steps);
+      Alcotest.(check string)
+        (name ^ ": obs snapshot identical across replays")
+        (snapshot_text r1.Scheduler.snapshot)
+        (snapshot_text r2.Scheduler.snapshot);
+      Alcotest.(check bool)
+        (name ^ ": final ADT state identical across replays")
+        true
+        (r1.Scheduler.final_state = r2.Scheduler.final_state);
+      Alcotest.(check (list int))
+        (name ^ ": replay follows the recorded schedule")
+        r1.Scheduler.choices r2.Scheduler.choices)
+    [ Protect.Forward_gk; Protect.Abstract_lock; Protect.Global_lock;
+      Protect.General_gk ];
+  (* the STM baseline needs a traced ADT: union-find *)
+  let w =
+    match Workload.union_find ~txns:2 ~ops_per_txn:2 ~seed:7 Protect.Stm with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let r0 = Scheduler.run ~schedule:[] w.Workload.make in
+  let r1 = Explore.replay ~schedule:r0.Scheduler.choices w.Workload.make in
+  let r2 = Explore.replay ~schedule:r0.Scheduler.choices w.Workload.make in
+  Alcotest.(check string)
+    "stm: trace is byte-identical across replays"
+    (Trace.render r1.Scheduler.steps)
+    (Trace.render r2.Scheduler.steps);
+  Alcotest.(check bool)
+    "stm: final ADT state identical across replays" true
+    (r1.Scheduler.final_state = r2.Scheduler.final_state)
+
+(* ---- exploration terminates and finds nothing on a correct detector ---- *)
+
+let test_explore_clean () =
+  List.iter
+    (fun scheme ->
+      let w = mk_set scheme in
+      let cfg = { Explore.default_config with max_schedules = 400 } in
+      let r = Explore.explore ~config:cfg w.Workload.make in
+      Alcotest.(check bool)
+        (Protect.scheme_name scheme ^ ": no counterexample")
+        true (r.Explore.verdict = None))
+    [ Protect.Forward_gk; Protect.Abstract_lock ]
+
+(* ---- POR prunes: fewer schedules with pruning, same verdict ---- *)
+
+let test_por_prunes () =
+  let cfg = { Explore.default_config with max_schedules = 600 } in
+  let w () = mk_set Protect.Forward_gk in
+  let rp = Explore.explore ~config:cfg (w ()).Workload.make in
+  let rn =
+    Explore.explore ~config:{ cfg with Explore.por = false } (w ()).Workload.make
+  in
+  Alcotest.(check bool)
+    "verdicts identical (both clean)" true
+    (rp.Explore.verdict = None && rn.Explore.verdict = None);
+  Alcotest.(check bool)
+    (Fmt.str "POR runs fewer schedules (%d <= %d)" rp.Explore.c.Explore.runs
+       rn.Explore.c.Explore.runs)
+    true
+    (rp.Explore.c.Explore.runs <= rn.Explore.c.Explore.runs);
+  Alcotest.(check bool)
+    "POR actually pruned branches" true
+    (rp.Explore.c.Explore.pruned > 0);
+  Alcotest.(check bool)
+    "no pruning without POR" true
+    (rn.Explore.c.Explore.pruned = 0)
+
+(* ---- contended keys: POR must branch on dependent operations ---- *)
+
+let test_por_contended () =
+  (* 2 keys across 3 transactions: add/remove collisions are certain, so
+     commutativity pruning cannot collapse the search to one schedule *)
+  let w =
+    match
+      Workload.set ~txns:3 ~ops_per_txn:2 ~keys:2 ~seed:3 Protect.Forward_gk
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let cfg = { Explore.default_config with max_schedules = 800 } in
+  let rp = Explore.explore ~config:cfg w.Workload.make in
+  let rn =
+    Explore.explore ~config:{ cfg with Explore.por = false } w.Workload.make
+  in
+  Alcotest.(check bool)
+    "verdicts identical under contention" true
+    (rp.Explore.verdict = None && rn.Explore.verdict = None);
+  Alcotest.(check bool)
+    (Fmt.str "contention forces branching (%d runs)" rp.Explore.c.Explore.runs)
+    true
+    (rp.Explore.c.Explore.runs > 1);
+  Alcotest.(check bool)
+    (Fmt.str "still fewer than unpruned (%d <= %d)" rp.Explore.c.Explore.runs
+       rn.Explore.c.Explore.runs)
+    true
+    (rp.Explore.c.Explore.runs <= rn.Explore.c.Explore.runs)
+
+(* ---- obs counters surface the exploration stats ---- *)
+
+let test_obs_counters () =
+  let w = mk_set Protect.Forward_gk in
+  let obs = Obs.create ~enabled:true "explore" in
+  let cfg = { Explore.default_config with max_schedules = 100 } in
+  let r = Explore.explore ~config:cfg ~obs w.Workload.make in
+  let snap = Obs.snapshot obs in
+  Alcotest.(check int)
+    "schedules_run counter matches report" r.Explore.c.Explore.runs
+    (Obs.counter_value snap "schedules_run");
+  Alcotest.(check int)
+    "schedules_pruned counter matches report" r.Explore.c.Explore.pruned
+    (Obs.counter_value snap "schedules_pruned")
+
+(* ---- the seeded ABBA bug: found, shrunk, deterministic, replayable ---- *)
+
+let buggy () = Seeded.workload ~buggy:true ()
+let fixed () = Seeded.workload ~buggy:false ()
+
+let test_abba_found () =
+  let r = Explore.explore buggy in
+  match r.Explore.verdict with
+  | None -> Alcotest.fail "seeded ABBA deadlock not found"
+  | Some f ->
+      Fmt.epr "ABBA shrunk schedule: [%s] (from %d)@."
+        (String.concat ";" (List.map string_of_int f.Explore.f_schedule))
+        f.Explore.f_shrunk_from;
+      Fmt.epr "ABBA trace:@.%s@." f.Explore.f_trace;
+      Alcotest.(check string) "kind is deadlock" "deadlock" f.Explore.f_kind;
+      (* deterministic: a second exploration finds the same schedule *)
+      let r2 = Explore.explore buggy in
+      (match r2.Explore.verdict with
+      | None -> Alcotest.fail "second exploration missed the deadlock"
+      | Some f2 ->
+          Alcotest.(check (list int))
+            "same shrunk schedule on re-exploration" f.Explore.f_schedule
+            f2.Explore.f_schedule);
+      (* the shrunk schedule replays to the same failure *)
+      let rr = Explore.replay ~schedule:f.Explore.f_schedule buggy in
+      (match rr.Scheduler.status with
+      | Scheduler.Deadlock _ -> ()
+      | st ->
+          Alcotest.fail
+            (Fmt.str "shrunk schedule replayed to %a, not deadlock"
+               Scheduler.pp_status st));
+      (* shrinking did not grow the schedule *)
+      Alcotest.(check bool)
+        "shrunk <= original" true
+        (List.length f.Explore.f_schedule <= f.Explore.f_shrunk_from)
+
+let test_abba_fixed_clean () =
+  let r = Explore.explore fixed in
+  match r.Explore.verdict with
+  | None -> ()
+  | Some f ->
+      Alcotest.fail
+        (Fmt.str "canonical lock order produced a %s counterexample: %s@.%s"
+           f.Explore.f_kind f.Explore.f_detail f.Explore.f_trace)
+
+(* ---- pinned regression schedule ---- *)
+
+(* tests run either from the dune sandbox (test/) or the workspace root;
+   locate the pinned schedule relative to whichever we're in *)
+let schedule_file name =
+  let rec find dir n =
+    if n = 0 then Alcotest.fail ("cannot locate test data file " ^ name)
+    else
+      let cand = Filename.concat dir (Filename.concat "data" name) in
+      let cand' =
+        Filename.concat dir (Filename.concat "test/data" name)
+      in
+      if Sys.file_exists cand then cand
+      else if Sys.file_exists cand' then cand'
+      else find (Filename.concat dir "..") (n - 1)
+  in
+  find "." 6
+
+let read_schedule file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> (
+            match String.trim line with
+            | "" -> go acc
+            | l when l.[0] = '#' -> go acc
+            | l -> go (int_of_string l :: acc))
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_abba_pinned () =
+  let sched = read_schedule (schedule_file "abba.schedule") in
+  let r = Explore.replay ~schedule:sched buggy in
+  (match r.Scheduler.status with
+  | Scheduler.Deadlock _ -> ()
+  | st ->
+      Alcotest.fail
+        (Fmt.str "pinned schedule replayed to %a, not deadlock"
+           Scheduler.pp_status st));
+  (* the same interleaving is harmless under the canonical lock order *)
+  let rf = Explore.replay ~schedule:sched fixed in
+  match rf.Scheduler.status with
+  | Scheduler.Deadlock _ ->
+      Alcotest.fail "fixed detector deadlocked on the pinned schedule"
+  | _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "replay-determinism" `Quick test_replay_determinism;
+    Alcotest.test_case "explore-clean" `Quick test_explore_clean;
+    Alcotest.test_case "por-prunes" `Quick test_por_prunes;
+    Alcotest.test_case "por-contended" `Quick test_por_contended;
+    Alcotest.test_case "obs-counters" `Quick test_obs_counters;
+    Alcotest.test_case "abba-found" `Quick test_abba_found;
+    Alcotest.test_case "abba-fixed-clean" `Quick test_abba_fixed_clean;
+    Alcotest.test_case "abba-pinned" `Quick test_abba_pinned;
+  ]

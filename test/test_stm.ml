@@ -22,6 +22,18 @@ let mk_cells n =
     in
     (read, write)
 
+(* the STM scheme ignores the spec; route the tracer out through
+   Protect.protect as applications do *)
+let stm_create () =
+  let tr = ref Mem_trace.null in
+  let det =
+    Protect.protect
+      ~spec:(Iset.exclusive_spec ())
+      ~adt:(Protect.adt ~connect_tracer:(fun t -> tr := t) ())
+      Protect.Stm
+  in
+  (det, !tr)
+
 let meth_op = Invocation.meth "op" 0
 
 let invoke det txn body =
@@ -31,7 +43,7 @@ let invoke det txn body =
       Value.Unit)
 
 let test_rw_conflicts () =
-  let det, tracer = Stm.create () in
+  let det, tracer = stm_create () in
   let read, write = mk_cells 8 tracer in
   (* txn1 reads cell 0; txn2 writing cell 0 conflicts *)
   ignore (invoke det 1 (fun () -> ignore (read 0)));
@@ -49,7 +61,7 @@ let test_rw_conflicts () =
   det.Detector.on_commit 4
 
 let test_ww_conflicts () =
-  let det, tracer = Stm.create () in
+  let det, tracer = stm_create () in
   let _read, write = mk_cells 8 tracer in
   ignore (invoke det 1 (fun () -> write 1 1));
   check_bool "w/w conflicts" true
@@ -65,7 +77,7 @@ let test_ww_conflicts () =
     | exception Detector.Conflict _ -> true)
 
 let test_same_txn_free () =
-  let det, tracer = Stm.create () in
+  let det, tracer = stm_create () in
   let read, write = mk_cells 8 tracer in
   ignore (invoke det 1 (fun () -> write 2 1));
   ignore (invoke det 1 (fun () -> ignore (read 2)));
@@ -89,7 +101,7 @@ let test_find_find_contrast () =
   in
   (* STM: conflict *)
   let uf1 = mk () in
-  let det_ml, tracer = Stm.create () in
+  let det_ml, tracer = stm_create () in
   Union_find.set_tracer uf1 tracer;
   let find det uf txn x =
     let inv = Invocation.make ~txn Union_find.m_find [| Value.Int x |] in
@@ -104,7 +116,11 @@ let test_find_find_contrast () =
   check_bool "STM: concurrent finds conflict (path compression)" true stm_conflict;
   (* general gatekeeper: no conflict (finds always commute, Fig. 5 (4)) *)
   let uf2 = mk () in
-  let det_gk, _ = Gatekeeper.general ~hooks:(Union_find.hooks uf2) (Union_find.spec ()) in
+  let det_gk =
+    Protect.protect ~spec:(Union_find.spec ())
+      ~adt:(Protect.adt ~hooks:(Union_find.hooks uf2) ())
+      Protect.General_gk
+  in
   find det_gk uf2 1 3;
   find det_gk uf2 2 3;
   det_gk.Detector.on_commit 1;
@@ -126,7 +142,7 @@ let test_stm_executor_serializable =
     (fun txn_specs ->
       (* the hash-set impl is not traced, so wrap it in explicit cells: use
          union-find-free approach — trace the set through a cell per key *)
-      let det, tracer = Stm.create () in
+      let det, tracer = stm_create () in
       let set = Iset.create () in
       let recorded = ref [] in
       let operator (txn : Txn.t) ops =

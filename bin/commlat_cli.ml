@@ -7,6 +7,10 @@
      commlat lint FILE...         static analysis: bounded soundness vs the
                                   reference ADT semantics, structural lints,
                                   strengthening-chain validation (--chain)
+     commlat synth --adt NAME     CEGIS-synthesize a spec from the reference
+                                  semantics, verify it unboundedly by
+                                  product-program reachability, diff it
+                                  against the hand-written spec
      commlat order FILE1 FILE2    lattice comparison of two specs
      commlat print FILE           canonical re-print (round-trips)
      commlat stats FILE           render/validate observability snapshots
@@ -410,7 +414,14 @@ let lint_cmd =
     Arg.(
       value & opt int 3
       & info [ "max-counterexamples" ] ~docv:"N"
-          ~doc:"Counterexample traces retained per method pair.")
+          ~doc:
+            "Counterexample traces retained per method pair (default 3). The \
+             cap trims the traces attached to $(b,unsound) diagnostics, never \
+             the diagnostics themselves: $(b,--max-counterexamples 0) still \
+             reports every unsound pair (and still exits 1), just without \
+             replay traces. Diagnostics are emitted in a deterministic order \
+             (file, position, severity, code, pair) regardless of N, so lint \
+             output is directly diffable in CI.")
   in
   Cmd.v
     (Cmd.info "lint" ~exits
@@ -422,6 +433,217 @@ let lint_cmd =
           $(b,--detector) fragment checks. Exits 1 if any error-severity \
           diagnostic is reported, 2 on unparsable input.")
     Term.(const run $ paths $ format $ chain $ max_cx $ json_file_arg $ detector_arg)
+
+(* ---- synth ---- *)
+
+let synth_cmd =
+  (* the built-in references: the hand-written precise specs whose
+     conditions the synthesizer must re-derive from semantics alone *)
+  let builtin = function
+    | "set" -> Some (Commlat_adts.Iset.precise_spec ())
+    | "accumulator" -> Some (Commlat_adts.Accumulator.spec ())
+    | "kvmap" -> Some (Commlat_adts.Kvmap.precise_spec ())
+    | "orset" -> Some (Commlat_adts.Orset.spec ())
+    | _ -> None
+  in
+  let jstr s = "\"" ^ Diagnostic.json_escape s ^ "\"" in
+  let jpair (m1, m2) = Fmt.str "[%s,%s]" (jstr m1) (jstr m2) in
+  let jverdict = function
+    | Verify.Proved n -> Fmt.str "{\"verdict\":\"proved\",\"cases\":%d}" n
+    | Verify.Refuted r ->
+        Fmt.str
+          "{\"verdict\":\"refuted\",\"case\":%s,\"setup\":[%s],\"args1\":%s,\"args2\":%s,\"trace\":%s}"
+          (jstr r.Verify.rf_case)
+          (String.concat ","
+             (List.map
+                (fun (m, args) -> Fmt.str "[%s,%s]" (jstr m) (jstr (Fmt.str "%a" Fmt.(list ~sep:comma Value.pp) args)))
+                r.Verify.rf_setup))
+          (jstr (Fmt.str "%a" Fmt.(list ~sep:comma Value.pp) r.Verify.rf_args1))
+          (jstr (Fmt.str "%a" Fmt.(list ~sep:comma Value.pp) r.Verify.rf_args2))
+          (jstr (Fmt.str "%a" Verify.pp_verdict (Verify.Refuted r)))
+    | Verify.Unknown reason ->
+        Fmt.str "{\"verdict\":\"unknown\",\"reason\":%s}" (jstr reason)
+  in
+  let run spec_path adt batch json out =
+    let reference =
+      match (spec_path, adt) with
+      | Some p, None -> load p
+      | None, Some a -> (
+          match builtin a with
+          | Some s -> s
+          | None ->
+              Fmt.epr
+                "synth: no built-in ADT %s (try set, accumulator, kvmap, orset)@."
+                a;
+              exit 2)
+      | _ ->
+          Fmt.epr "synth: give exactly one of SPEC or --adt NAME@.";
+          exit 2
+    in
+    match Domain.find (Spec.adt reference) with
+    | None ->
+        Fmt.epr "synth: no reference domain registered for ADT %s@."
+          (Spec.adt reference);
+        exit 1
+    | Some dom ->
+        let r = Synth.synthesize ~batch dom reference in
+        let ver = Verify.verify_spec r.Synth.sy_spec in
+        let rels = Equiv.compare_specs dom ~hand:reference ~synth:r.Synth.sy_spec in
+        let verdict_of pair =
+          List.find_opt (fun (p : Verify.pair_verdict) -> p.Verify.vf_pair = pair)
+            ver.Verify.vf_pairs
+        in
+        let relation_of pair =
+          List.find_opt (fun (e : Equiv.pair_relation) -> e.Equiv.eq_pair = pair)
+            rels
+        in
+        let converged =
+          List.for_all (fun (p : Synth.pair_result) -> p.Synth.sy_converged)
+            r.Synth.sy_results
+        in
+        let refuted = Verify.any_refuted ver in
+        let acceptable =
+          List.for_all (fun (e : Equiv.pair_relation) ->
+              Equiv.acceptable e.Equiv.eq_relation)
+            rels
+        in
+        let ok = converged && (not refuted) && acceptable in
+        (* the verdict-stamped spec: deterministic # header + canonical
+           re-print, the exact bytes CI diffs against the golden files *)
+        let stamped =
+          let buf = Buffer.create 1024 in
+          Buffer.add_string buf
+            (Fmt.str
+               "# synthesized by commlat synth: CEGIS over the bounded reference\n\
+                # semantics of domain `%s`, conditions verified unboundedly by\n\
+                # product-program reachability, diffed against the reference\n\
+                # specification modulo (observational) lattice equivalence.\n"
+               dom.Domain.dom_name);
+          List.iter
+            (fun (p : Synth.pair_result) ->
+              let m1, m2 = p.Synth.sy_pair in
+              Buffer.add_string buf
+                (Fmt.str
+                   "#   %s;%s: iterations=%d samples=%d scenarios=%d residual=%d verify=%s vs-reference=%s\n"
+                   m1 m2 p.Synth.sy_iterations p.Synth.sy_samples
+                   p.Synth.sy_scenarios p.Synth.sy_residual_incomplete
+                   (match verdict_of (m1, m2) with
+                   | Some v -> (
+                       match v.Verify.vf_verdict with
+                       | Verify.Proved n -> Fmt.str "proved/%d" n
+                       | Verify.Refuted _ -> "REFUTED"
+                       | Verify.Unknown _ -> "unknown")
+                   | None -> "-")
+                   (match relation_of (m1, m2) with
+                   | Some e -> Equiv.relation_name e.Equiv.eq_relation
+                   | None -> "-")))
+            r.Synth.sy_results;
+          Buffer.add_string buf (Fmt.str "%a" Spec_lang.print_spec r.Synth.sy_spec);
+          Buffer.contents buf
+        in
+        (match out with
+        | None -> print_string stamped
+        | Some file -> write_out file stamped);
+        (match json with
+        | None -> ()
+        | Some file ->
+            let pairs_json =
+              List.map
+                (fun (p : Synth.pair_result) ->
+                  Fmt.str
+                    "{\"pair\":%s,\"condition\":%s,\"iterations\":%d,\"samples\":%d,\"scenarios\":%d,\"residual_incomplete\":%d,\"converged\":%b}"
+                    (jpair p.Synth.sy_pair)
+                    (jstr (Formula.to_string p.Synth.sy_cond))
+                    p.Synth.sy_iterations p.Synth.sy_samples p.Synth.sy_scenarios
+                    p.Synth.sy_residual_incomplete p.Synth.sy_converged)
+                r.Synth.sy_results
+            in
+            let verify_json =
+              List.map
+                (fun (p : Verify.pair_verdict) ->
+                  Fmt.str "{\"pair\":%s,\"condition\":%s,%s}"
+                    (jpair p.Verify.vf_pair)
+                    (jstr (Formula.to_string p.Verify.vf_cond))
+                    (String.sub (jverdict p.Verify.vf_verdict) 1
+                       (String.length (jverdict p.Verify.vf_verdict) - 2)))
+                ver.Verify.vf_pairs
+            in
+            let diff_json =
+              List.map
+                (fun (e : Equiv.pair_relation) ->
+                  Fmt.str
+                    "{\"pair\":%s,\"relation\":%s,\"syntactic_equal\":%b,\"envs\":%d,\"reference\":%s,\"synthesized\":%s}"
+                    (jpair e.Equiv.eq_pair)
+                    (jstr (Equiv.relation_name e.Equiv.eq_relation))
+                    e.Equiv.eq_syntactic_equal e.Equiv.eq_envs
+                    (jstr (Formula.to_string e.Equiv.eq_hand))
+                    (jstr (Formula.to_string e.Equiv.eq_synth)))
+                rels
+            in
+            write_out file
+              (Fmt.str
+                 "{\"schema\":\"commlat-synth/1\",\"adt\":%s,\"domain\":%s,\"converged\":%b,\"refuted\":%b,\"acceptable\":%b,\"ok\":%b,\n\
+                  \"cegis\":[%s],\n\
+                  \"verify\":{\"family\":%s,\"frame\":%s,\"pairs\":[%s]},\n\
+                  \"diff\":[%s]}"
+                 (jstr (Spec.adt reference))
+                 (jstr dom.Domain.dom_name)
+                 converged refuted acceptable ok
+                 (String.concat ",\n " pairs_json)
+                 (match ver.Verify.vf_family with
+                 | Some f -> jstr f
+                 | None -> "null")
+                 (jstr ver.Verify.vf_frame)
+                 (String.concat ",\n " verify_json)
+                 (String.concat ",\n " diff_json)));
+        if ok then exit 0 else exit 1
+  in
+  let spec_path =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "Reference specification file (its method signatures and value \
+             functions seed the synthesis; its conditions are only used for \
+             the final lattice diff).")
+  in
+  let adt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "adt" ] ~docv:"NAME"
+          ~doc:
+            "Use a built-in reference instead of a SPEC file: $(b,set), \
+             $(b,accumulator), $(b,kvmap), or $(b,orset).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Counterexamples added to the sample set per CEGIS refinement.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the verdict-stamped specification to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~exits
+       ~doc:
+         "Synthesize a commutativity specification from the registered \
+          reference ADT semantics by CEGIS (propose a DNF separator over \
+          the spec-logic atom grammar, refute against the bounded scenario \
+          oracle, refine), then verify every synthesized condition \
+          unboundedly by product-program reachability and diff it against \
+          the reference specification modulo lattice equivalence. The \
+          emitted spec round-trips through the spec language and carries a \
+          verdict-stamped header. Exits 0 only if synthesis converged, no \
+          condition was refuted, and every condition is lattice-equivalent \
+          to or weaker (more precise) than the reference; 1 otherwise; 2 \
+          on unparsable input.")
+    Term.(const run $ spec_path $ adt $ batch $ json_file_arg $ out)
 
 (* ---- order ---- *)
 
@@ -753,4 +975,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ classify_cmd; matrix_cmd; check_cmd; lint_cmd; order_cmd; print_cmd; stats_cmd; explore_cmd ]))
+          [
+            classify_cmd;
+            matrix_cmd;
+            check_cmd;
+            lint_cmd;
+            synth_cmd;
+            order_cmd;
+            print_cmd;
+            stats_cmd;
+            explore_cmd;
+          ]))

@@ -276,3 +276,49 @@ let inflow t sink =
      residual cap on (sink, u) for edges that started at 0.  We instead sum
      excess, which equals inflow at the sink for a preflow. *)
   t.excess.(sink)
+
+(* ------------------------------------------------------------------ *)
+(* Replay model (the bounded-analysis reference semantics)             *)
+(* ------------------------------------------------------------------ *)
+
+(** Comparable encoding of the abstract state: per-node excess and height,
+    plus every directed residual capacity.  Edge lists are emitted in
+    sorted (src, dst) order so structurally equal states encode equally
+    regardless of adjacency-array layout. *)
+let abstract_snapshot t =
+  let nodes =
+    List.init t.n (fun u ->
+        Value.List [ Value.Int u; Value.Int t.excess.(u); Value.Int t.height.(u) ])
+  in
+  let edges = ref [] in
+  Array.iteri
+    (fun u row ->
+      Array.iter (fun e -> edges := (u, e.dst, e.cap) :: !edges) row)
+    t.adj;
+  let edges =
+    List.sort compare !edges
+    |> List.map (fun (u, v, c) -> Value.List [ Value.Int u; Value.Int v; Value.Int c ])
+  in
+  Value.Pair (Value.List nodes, Value.List edges)
+
+(** A replayable model on a small fixed network (the reference semantics
+    the spec analysis executes against).  Besides the four spec methods,
+    [apply] accepts the pseudo-method [seed u amt] — excess injection used
+    only by the analysis' initial-state setups, mirroring what saturating
+    the source's out-edges does in a real preflow-push run. *)
+let model ?(n = 4) ?(edges = [ (0, 1, 4); (1, 2, 3); (2, 3, 5); (0, 2, 2) ]) () :
+    History.model =
+  let fresh () = of_edges ~n edges in
+  let t = ref (fresh ()) in
+  {
+    History.reset = (fun () -> t := fresh ());
+    apply =
+      (fun name args ->
+        match (name, args) with
+        | "seed", [ u; amt ] ->
+            let u = Value.to_int u in
+            !t.excess.(u) <- !t.excess.(u) + Value.to_int amt;
+            Value.Unit
+        | _ -> exec !t name (Array.of_list args));
+    snapshot = (fun () -> abstract_snapshot !t);
+  }

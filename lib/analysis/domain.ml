@@ -166,6 +166,68 @@ let union_find_domain =
     vfuns = [];
   }
 
+let orset_domain =
+  let elems = ints [ 0; 1 ] and ids = ints [ 0; 1 ] in
+  let pairs = List.concat_map (fun e -> List.map (fun i -> [ e; i ]) ids) elems in
+  let a e i = ("add", [ Value.Int e; Value.Int i ]) in
+  {
+    dom_name = "orset";
+    fresh = (fun () -> of_model (Orset.model ()));
+    states =
+      [
+        ("{}", []);
+        ("{(0,0)}", [ a 0 0 ]);
+        ("{(0,0),(0,1)}", [ a 0 0; a 0 1 ]);
+        ("{(0,0),(1,0)}", [ a 0 0; a 1 0 ]);
+      ];
+    args_of = (function "add" | "remove" -> pairs | _ -> []);
+    vfuns = [];
+  }
+
+let flow_graph_domain =
+  (* The model's fixed 4-node network (0->1->2->3 plus a 0->2 chord).  The
+     preflow-push conditions make pushes no-ops unless excess and heights
+     line up, so the setups seed excess (via the model's analysis-only
+     [seed] pseudo-method) and build a descending height profile — states
+     where push_flow genuinely moves flow and conflicts are observable. *)
+  let nodes = [ 0; 1; 2; 3 ] in
+  let node_args = List.map (fun u -> [ Value.Int u ]) nodes in
+  let node_pairs =
+    List.concat_map
+      (fun u ->
+        List.filter_map
+          (fun v -> if u = v then None else Some [ Value.Int u; Value.Int v ])
+          nodes)
+      nodes
+  in
+  let seed u amt = ("seed", [ Value.Int u; Value.Int amt ]) in
+  let relab u h = ("relabel_to", [ Value.Int u; Value.Int h ]) in
+  {
+    dom_name = "flow_graph";
+    fresh = (fun () -> of_model (Flow_graph.model ()));
+    states =
+      [
+        ("idle", []);
+        ("src-seeded", [ seed 0 3; relab 0 2; relab 1 1 ]);
+        ("two-active", [ seed 0 2; seed 1 2; relab 0 2; relab 1 1; relab 2 0 ]);
+      ];
+    args_of =
+      (function
+      | "get_neighbors" | "height" -> node_args
+      | "push_flow" -> node_pairs
+      | "relabel_to" ->
+          List.concat_map
+            (fun u -> List.map (fun h -> [ Value.Int u; Value.Int h ]) [ 0; 1; 2 ])
+            nodes
+      | _ -> []);
+    vfuns =
+      [
+        ("part", function
+          | [ v ] -> Value.Int (Value.to_int v mod 2)
+          | _ -> Value.type_error "part/1");
+      ];
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -182,7 +244,11 @@ let () =
   register [ "set"; "set_rw"; "set_excl"; "set_part2"; "set_part4" ] set_domain;
   register [ "accumulator" ] accumulator_domain;
   register [ "kvmap"; "kvmap_rw" ] kvmap_domain;
-  register [ "union_find" ] union_find_domain
+  register [ "union_find" ] union_find_domain;
+  register [ "orset" ] orset_domain;
+  register
+    [ "flow_graph"; "flow_graph_rw"; "flow_graph_ex"; "flow_graph_part2"; "flow_graph_part4" ]
+    flow_graph_domain
 
 let find name = Hashtbl.find_opt registry name
 

@@ -25,6 +25,20 @@ let load file = Spec_lang.parse (read_file (Filename.concat specs_dir file))
 let expected =
   [
     ("accumulator.spec", [ ("increment", None); ("read", None) ]);
+    ( "flow_graph.spec",
+      (* push_flow's conditions are conjunctions of disequalities — no
+         single clause makes them true, so it cannot be keyed and is
+         demoted; the single-node methods then key on their node. *)
+      [
+        ("get_neighbors", Some "v1[0]");
+        ("height", Some "v1[0]");
+        ("push_flow", None);
+        ("relabel_to", Some "v1[0]");
+      ] );
+    ( "orset.spec",
+      (* add;remove offers two clauses (element and tag); the element is
+         chosen for both sides *)
+      [ ("add", Some "v1[0]"); ("remove", Some "v1[0]") ] );
     ( "kdtree.spec",
       [
         ("add", Some "v1[0]");

@@ -26,4 +26,5 @@ let () =
       ("adaptive", Test_adaptive.suite);
       ("obs", Test_obs.suite);
       ("sched", Test_sched.suite);
+      ("synth", Test_synth.suite);
     ]

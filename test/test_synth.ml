@@ -1,0 +1,339 @@
+(* Tests of the synthesis-and-verification pipeline behind `commlat
+   synth`: the predicate grammar's canonical enumerator, the CEGIS loop,
+   the lattice diff against hand-written specs, the unbounded
+   product-program verifier, spec_lang round-trips over every shipped
+   spec, and the mirror symmetry of Spec.commutes. *)
+
+open Commlat_core
+open Commlat_adts
+open Commlat_analysis
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let specs_dir =
+  let rec find dir n =
+    if n = 0 then None
+    else if Sys.file_exists (Filename.concat dir "examples/specs/set.spec") then
+      Some dir
+    else find (Filename.concat dir "..") (n - 1)
+  in
+  find "." 6
+
+let domain_of spec =
+  match Domain.find (Spec.adt spec) with
+  | Some d -> d
+  | None -> Alcotest.failf "no domain for %s" (Spec.adt spec)
+
+(* ---- grammar ---- *)
+
+let test_grammar_canonical () =
+  let m_add = Invocation.meth "add" 1 in
+  let atoms = Grammar.atoms m_add m_add in
+  (* deterministic: two enumerations agree *)
+  check_bool "stable" true (atoms = Grammar.atoms m_add m_add);
+  (* deduplicated by printed form *)
+  let printed = List.map Formula.to_string atoms in
+  check_int "no duplicates" (List.length printed)
+    (List.length (List.sort_uniq compare printed));
+  (* sorted by the canonical cost order: argument-only atoms first *)
+  let ranks = List.map Grammar.atom_rank atoms in
+  check_bool "rank-sorted" true (List.sort compare ranks = ranks);
+  check_int "cheapest rank is argument-only" 1 (List.hd ranks)
+
+let test_grammar_dnf_subsumption () =
+  let open Formula in
+  let a = ne (arg1 0) (arg2 0) and b = eq ret1 ret2 in
+  (* [a] subsumes [a /\ b]: the longer disjunct admits strictly less *)
+  let f = Grammar.dnf_of [ [ a ]; [ a; b ] ] in
+  check_bool "subsumed disjunct dropped" true
+    (Formula.to_string f = Formula.to_string (Grammar.dnf_of [ [ a ] ]))
+
+(* ---- synthesis ---- *)
+
+let synth_report spec =
+  let dom = domain_of spec in
+  (dom, Synth.synthesize dom spec)
+
+let assert_converged name (r : Synth.report) =
+  List.iter
+    (fun (p : Synth.pair_result) ->
+      check_bool
+        (Fmt.str "%s %s;%s converged" name (fst p.Synth.sy_pair)
+           (snd p.Synth.sy_pair))
+        true p.Synth.sy_converged;
+      check_int
+        (Fmt.str "%s %s;%s residual" name (fst p.Synth.sy_pair)
+           (snd p.Synth.sy_pair))
+        0 p.Synth.sy_residual_incomplete)
+    r.Synth.sy_results
+
+let assert_acceptable name dom ~hand (r : Synth.report) =
+  List.iter
+    (fun (e : Equiv.pair_relation) ->
+      check_bool
+        (Fmt.str "%s %s;%s relation %s acceptable" name (fst e.Equiv.eq_pair)
+           (snd e.Equiv.eq_pair)
+           (Equiv.relation_name e.Equiv.eq_relation))
+        true
+        (Equiv.acceptable e.Equiv.eq_relation))
+    (Equiv.compare_specs dom ~hand ~synth:r.Synth.sy_spec)
+
+let test_synthesize_set () =
+  let dom, r = synth_report (Iset.precise_spec ()) in
+  assert_converged "set" r;
+  assert_acceptable "set" dom ~hand:(Iset.precise_spec ()) r
+
+let test_synthesize_accumulator () =
+  let dom, r = synth_report (Accumulator.spec ()) in
+  assert_converged "accumulator" r;
+  assert_acceptable "accumulator" dom ~hand:(Accumulator.spec ()) r;
+  (* the synthesized increment;read condition is *weaker* than Fig. 7's
+     "never": it finds the no-op increment frontier v1[0] = 0 *)
+  check_bool "increment;read more precise than Fig. 7" true
+    (Formula.to_string
+       (Spec.cond r.Synth.sy_spec ~first:"increment" ~second:"read")
+    = "v1[0] = 0")
+
+let test_synthesize_kvmap () =
+  let dom, r = synth_report (Kvmap.precise_spec ()) in
+  assert_converged "kvmap" r;
+  assert_acceptable "kvmap" dom ~hand:(Kvmap.precise_spec ()) r
+
+let test_synthesize_orset () =
+  let dom, r = synth_report (Orset.spec ()) in
+  assert_converged "orset" r;
+  assert_acceptable "orset" dom ~hand:(Orset.spec ()) r;
+  (* re-derives the Boogie freshness side condition exactly *)
+  check_bool "add;remove is the tagged-pair disequality" true
+    (Formula.to_string (Spec.cond r.Synth.sy_spec ~first:"add" ~second:"remove")
+    = Formula.to_string (Spec.cond (Orset.spec ()) ~first:"add" ~second:"remove"))
+
+let test_synthesize_no_evidence () =
+  (* a method the domain generates no scenarios for must synthesize the
+     sound "never commutes", not an optimistic "always" *)
+  let meths = [ Invocation.meth "add" 1; Invocation.meth "frobnicate" 1 ] in
+  let reference = Spec.create ~adt:"set" meths in
+  Spec.add_sym reference "add" "add" Formula.True;
+  Spec.add_sym reference "add" "frobnicate" Formula.True;
+  Spec.add_sym reference "frobnicate" "frobnicate" Formula.True;
+  let dom = domain_of reference in
+  let r = Synth.synthesize dom reference in
+  let p =
+    List.find
+      (fun (p : Synth.pair_result) -> fst p.Synth.sy_pair = "frobnicate")
+      r.Synth.sy_results
+  in
+  check_bool "no-evidence pair not converged" false p.Synth.sy_converged;
+  check_bool "no-evidence pair condition is False" true
+    (Spec.cond r.Synth.sy_spec ~first:"frobnicate" ~second:"frobnicate"
+    = Formula.False)
+
+(* ---- unbounded verification ---- *)
+
+let assert_all_proved name spec =
+  let v = Verify.verify_spec spec in
+  List.iter
+    (fun (p : Verify.pair_verdict) ->
+      check_bool
+        (Fmt.str "%s %s;%s %s" name (fst p.Verify.vf_pair)
+           (snd p.Verify.vf_pair)
+           (Verify.verdict_name p.Verify.vf_verdict))
+        true
+        (Verify.is_proved p.Verify.vf_verdict))
+    v.Verify.vf_pairs;
+  check_bool (name ^ " all_proved") true (Verify.all_proved v)
+
+let test_verify_proves_hand_specs () =
+  assert_all_proved "set" (Iset.precise_spec ());
+  assert_all_proved "accumulator" (Accumulator.spec ());
+  assert_all_proved "kvmap" (Kvmap.precise_spec ());
+  assert_all_proved "orset" (Orset.spec ())
+
+let test_verify_proves_synthesized_specs () =
+  List.iter
+    (fun spec ->
+      let _, r = synth_report spec in
+      assert_all_proved ("synth-" ^ Spec.adt spec) r.Synth.sy_spec)
+    [ Iset.precise_spec (); Accumulator.spec (); Kvmap.precise_spec (); Orset.spec () ]
+
+let test_verify_refutes_unsound_spec () =
+  (* claiming add;remove always commute on the set is wrong, and the
+     refutation must come with a concretely confirmed trace *)
+  let s = Spec.create ~adt:"set" Iset.methods in
+  List.iter
+    (fun (m1, m2) -> Spec.add_sym s m1 m2 Formula.True)
+    [ ("add", "add"); ("add", "remove"); ("add", "contains");
+      ("contains", "contains"); ("contains", "remove"); ("remove", "remove") ];
+  let v = Verify.verify_spec s in
+  check_bool "unsound spec refuted" true (Verify.any_refuted v);
+  let p =
+    List.find
+      (fun (p : Verify.pair_verdict) -> p.Verify.vf_pair = ("add", "remove"))
+      v.Verify.vf_pairs
+  in
+  (match p.Verify.vf_verdict with
+  | Verify.Refuted r ->
+      (* the trace is a real execution: forward and reversed observations
+         genuinely differ *)
+      check_bool "trace diverges" false
+        (Soundness.equivalent r.Verify.rf_fwd r.Verify.rf_rev)
+  | v -> Alcotest.failf "add;remove: expected refuted, got %s" (Verify.verdict_name v));
+  (* contains;contains genuinely always commutes: proved even here *)
+  let p =
+    List.find
+      (fun (p : Verify.pair_verdict) ->
+        p.Verify.vf_pair = ("contains", "contains"))
+      v.Verify.vf_pairs
+  in
+  check_bool "contains;contains still proved" true
+    (Verify.is_proved p.Verify.vf_verdict)
+
+let test_verify_unknown_outside_fragment () =
+  (* union-find conditions need state functions: no symbolic model, and
+     the verifier must say so instead of guessing *)
+  let v = Verify.verify_spec (Union_find.spec ()) in
+  check_bool "union_find has no family" true (v.Verify.vf_family = None);
+  List.iter
+    (fun (p : Verify.pair_verdict) ->
+      check_bool
+        (Fmt.str "union_find %s;%s unknown" (fst p.Verify.vf_pair)
+           (snd p.Verify.vf_pair))
+        true
+        (match p.Verify.vf_verdict with Verify.Unknown _ -> true | _ -> false))
+    v.Verify.vf_pairs
+
+(* ---- spec_lang round-trip over every shipped spec ---- *)
+
+let shipped_specs dir =
+  let ls sub =
+    let d = Filename.concat dir sub in
+    if Sys.file_exists d && Sys.is_directory d then
+      Sys.readdir d |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".spec")
+      |> List.map (Filename.concat d)
+    else []
+  in
+  List.sort compare (ls "examples/specs" @ ls "examples/specs/synth")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_roundtrip_shipped_specs () =
+  match specs_dir with
+  | None -> Alcotest.skip ()
+  | Some dir ->
+      let files = shipped_specs dir in
+      check_bool "found shipped specs" true (List.length files >= 10);
+      List.iter
+        (fun path ->
+          let spec = Spec_lang.parse (read_file path) in
+          let printed = Fmt.str "%a" Spec_lang.print_spec spec in
+          let spec' = Spec_lang.parse printed in
+          check_bool (path ^ ": adt survives") true (Spec.adt spec = Spec.adt spec');
+          let conds s =
+            List.sort compare
+              (List.map
+                 (fun ((m1, m2), f) -> (m1, m2, Formula.to_string f))
+                 (Spec.pairs s))
+          in
+          check_bool (path ^ ": conditions survive") true (conds spec = conds spec'))
+        files
+
+(* ---- Spec.commutes mirror symmetry ---- *)
+
+let test_commutes_symmetry () =
+  (* for add_sym-registered specs the condition for (m2, m1) is the mirror
+     of the condition for (m1, m2), so deciding commutativity of two
+     observed invocations must not depend on which one is passed first *)
+  let vals = [ Value.Int 0; Value.Int 1; Value.Bool true; Value.Bool false ] in
+  let rets =
+    vals @ [ Value.Unit; Value.Opt None; Value.Opt (Some (Value.Int 0)) ]
+  in
+  let invocations spec =
+    List.concat_map
+      (fun (m : Invocation.meth) ->
+        let rec tuples n =
+          if n = 0 then [ [] ]
+          else
+            List.concat_map (fun t -> List.map (fun v -> v :: t) vals) (tuples (n - 1))
+        in
+        List.concat_map
+          (fun args ->
+            List.map
+              (fun r ->
+                let i = Invocation.make ~txn:0 m (Array.of_list args) in
+                i.Invocation.ret <- r;
+                i)
+              rets)
+          (tuples m.Invocation.arity))
+      (Spec.methods spec)
+  in
+  List.iter
+    (fun spec ->
+      let invs = invocations spec in
+      List.iter
+        (fun i1 ->
+          List.iter
+            (fun i2 ->
+              check_bool
+                (Fmt.str "%s: commutes %s/%s symmetric" (Spec.adt spec)
+                   i1.Invocation.meth.Invocation.name
+                   i2.Invocation.meth.Invocation.name)
+                true
+                (Spec.commutes spec i1 i2 = Spec.commutes spec i2 i1))
+            invs)
+        invs)
+    [ Iset.precise_spec (); Accumulator.spec (); Orset.spec () ]
+
+(* ---- lint --max-counterexamples determinism (satellite) ---- *)
+
+let test_lint_max_counterexamples () =
+  match specs_dir with
+  | None -> Alcotest.skip ()
+  | Some dir -> (
+      let path = Filename.concat dir "examples/specs/bad/set_unsound.spec" in
+      if not (Sys.file_exists path) then Alcotest.skip ()
+      else
+        match Lint.load_file path with
+        | Error d -> Alcotest.failf "cannot load bad spec: %a" Diagnostic.pp d
+        | Ok src ->
+            let run n = Diagnostic.sort (Lint.analyze ~max_counterexamples:n src) in
+            (* deterministic: same input, same diagnostics, same order *)
+            check_bool "deterministic" true (run 3 = run 3);
+            (* the cap trims traces, never the error verdict *)
+            check_bool "errors survive cap 0" true (Lint.has_errors (run 0));
+            check_bool "cap 0 is no larger than cap 3" true
+              (List.length (run 0) <= List.length (run 3)))
+
+let suite =
+  [
+    Alcotest.test_case "grammar: canonical atom enumeration" `Quick
+      test_grammar_canonical;
+    Alcotest.test_case "grammar: dnf subsumption" `Quick
+      test_grammar_dnf_subsumption;
+    Alcotest.test_case "synthesize: set" `Quick test_synthesize_set;
+    Alcotest.test_case "synthesize: accumulator" `Quick
+      test_synthesize_accumulator;
+    Alcotest.test_case "synthesize: kvmap" `Slow test_synthesize_kvmap;
+    Alcotest.test_case "synthesize: orset" `Quick test_synthesize_orset;
+    Alcotest.test_case "synthesize: no evidence means False" `Quick
+      test_synthesize_no_evidence;
+    Alcotest.test_case "verify: proves the hand-written specs" `Quick
+      test_verify_proves_hand_specs;
+    Alcotest.test_case "verify: proves the synthesized specs" `Slow
+      test_verify_proves_synthesized_specs;
+    Alcotest.test_case "verify: refutes an unsound spec with a trace" `Quick
+      test_verify_refutes_unsound_spec;
+    Alcotest.test_case "verify: unknown outside the fragment" `Quick
+      test_verify_unknown_outside_fragment;
+    Alcotest.test_case "spec_lang: every shipped spec round-trips" `Quick
+      test_roundtrip_shipped_specs;
+    Alcotest.test_case "Spec.commutes is mirror-symmetric" `Quick
+      test_commutes_symmetry;
+    Alcotest.test_case "lint: --max-counterexamples is deterministic" `Quick
+      test_lint_max_counterexamples;
+  ]

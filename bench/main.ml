@@ -964,6 +964,279 @@ let sharding ?detector scale =
   json_doc ~experiment:"sharding" ~full:(scale == full_scale) (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Spec compiler microbenchmark                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Interpreter vs compiled conflict checks (ROADMAP item 3, hot-path
+   compilation).  For every ordered method pair of every shipped spec,
+   time the staged-interpreter path — stage [Formula.compile cond] once,
+   then build an [Invocation.env] per check, which is exactly what a
+   non-compiled gatekeeper pays per scan entry — against the spec
+   compiler's flat closure, and measure minor-heap words allocated per
+   check on both paths.
+
+   Two properties are gated (exit 1), because they are deterministic:
+   compiled and interpreter verdicts must agree on every canned
+   invocation pair, and a state-free vfun-free condition's compiled path
+   must allocate nothing.  The speedup is machine-dependent, so it is
+   recorded in the JSON document but not gated. *)
+
+let compile_gate_failed = ref false
+
+let compile_bench scale =
+  header
+    "Spec compiler: interpreter vs compiled conflict checks\n\
+     interp = staged formula + per-check Invocation.env (gatekeeper default)\n\
+     compiled = Compile.condition closure (gatekeeper ~compiled:true)";
+  let specs =
+    [
+      Iset.precise_spec ();
+      Accumulator.spec ();
+      Kvmap.precise_spec ();
+      Kvmap.simple_spec ();
+      Orset.spec ();
+      Union_find.spec ();
+      Kdtree.spec ();
+      Flow_graph.spec_rw ();
+      Flow_graph.spec_exclusive ();
+      Flow_graph.spec_partitioned ~nparts:32 ~n:64 ();
+    ]
+  in
+  (* Conditions whose zero-allocation claim is unconditional: no state
+     functions (those stay interpreted) and no value functions (a vfun
+     call allocates its [Value.t list] argument — the one documented
+     exception, see lib/core/compile.mli). *)
+  let rec vfree_formula = function
+    | Formula.True | Formula.False -> true
+    | Formula.Cmp (_, a, b) -> vfree_term a && vfree_term b
+    | Formula.Not f -> vfree_formula f
+    | Formula.And (a, b) | Formula.Or (a, b) -> vfree_formula a && vfree_formula b
+  and vfree_term = function
+    | Formula.Arg _ | Formula.Ret _ | Formula.Const _ -> true
+    | Formula.Vfun _ | Formula.Sfun _ -> false
+    | Formula.Arith (_, a, b) -> vfree_term a && vfree_term b
+  in
+  (* Canned invocations: a few argument shapes times a few plausible
+     return values per method.  The pre-flight pass picks, per ordered
+     pair, the first combination the interpreter evaluates without
+     raising (wrong-typed rets raise identically on both paths, so they
+     are unusable for timing but still exercised by the divergence
+     check). *)
+  let candidates (m : Invocation.meth) =
+    let args_pool =
+      [
+        Array.init m.arity (fun i -> Value.Int i);
+        Array.init m.arity (fun i -> Value.Int (i + 1));
+        Array.make (max m.arity 1) (Value.Int 0);
+      ]
+    in
+    let rets =
+      [
+        Value.Unit;
+        Value.Int 0;
+        Value.Int 1;
+        Value.Bool true;
+        Value.Bool false;
+        Value.Opt None;
+        Value.Opt (Some (Value.Int 0));
+      ]
+    in
+    List.concat_map
+      (fun args ->
+        List.map
+          (fun ret ->
+            let inv = Invocation.make ~txn:0 m (Array.copy args) in
+            inv.Invocation.ret <- ret;
+            inv)
+          rets)
+      args_pool
+  in
+  let iters = max 50_000 (scale.micro_ops / 2) in
+  (* Time and count minor words for [iters] calls of [f].  The allocation
+     pass is separate from the timing passes so the boxed floats of
+     [Unix.gettimeofday] don't pollute the window; the [Gc.minor_words]
+     result boxes themselves contribute a constant few words, so the
+     per-check verdict uses a 0.5-word threshold.  Timing takes the best
+     of three passes after an explicit minor collection, so one path
+     doesn't pay the GC debt the other ran up. *)
+  let measure f =
+    for _ = 1 to 1_000 do
+      ignore (Sys.opaque_identity (f () : bool))
+    done;
+    Gc.minor ();
+    let w0 = Gc.minor_words () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f () : bool))
+    done;
+    let dw = Gc.minor_words () -. w0 in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      Gc.minor ();
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        ignore (Sys.opaque_identity (f () : bool))
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (!best /. float_of_int iters, dw /. float_of_int iters)
+  in
+  let rows = ref [] in
+  pf "%-18s %-14s %-14s %-12s %9s %9s %8s %7s@." "spec" "first" "second" "kind"
+    "interp-ns" "comp-ns" "speedup" "words";
+  List.iter
+    (fun spec ->
+      let adt = Spec.adt spec in
+      let o = Obs.create (Fmt.str "bench.compile:%s" adt) in
+      let c_measured = Obs.counter o "pairs_measured" in
+      let c_interp = Obs.counter o "pairs_interpreted" in
+      let c_skipped = Obs.counter o "pairs_skipped" in
+      let c_diverged = Obs.counter o "divergences" in
+      let cspec = Compile.of_spec spec in
+      let cands = Hashtbl.create 8 in
+      List.iter
+        (fun (m : Invocation.meth) -> Hashtbl.replace cands m.name (candidates m))
+        (Spec.methods spec);
+      let spec_rows = ref [] in
+      List.iter
+        (fun (((first, second) : string * string), check) ->
+          let cond = Spec.cond spec ~first ~second in
+          let staged = Formula.compile cond in
+          (* Mirror Gatekeeper.check_env's per-check shape exactly: the
+             [sfun] closure and the [Spec.vfun spec] partial application
+             are built fresh per evaluation there too, so their cost is
+             part of the interpreter baseline, not bench artifact. *)
+          let interp i1 i2 =
+            let sfun name _ _ _ = raise (Formula.Unsupported name) in
+            staged (Invocation.env ~sfun ~vfun:(Spec.vfun spec) i1 i2)
+          in
+          (* Call the compiled closure the way a gatekeeper scan does —
+             directly — rather than through [check_pure]'s dispatch: a
+             partial application would route every call through the
+             generic currying machinery and misprice the fast path. *)
+          let compiled =
+            match check with
+            | Compile.Static b -> fun _ _ -> b
+            | Compile.Fast f -> f
+            | Compile.Interp _ ->
+                fun i1 i2 -> Compile.check_pure cspec check i1 i2
+          in
+          let kind = Compile.kind check in
+          let vfree = vfree_formula cond in
+          (* Divergence gate: over every canned combination, the two paths
+             must both raise or both return the same verdict. *)
+          let usable = ref None in
+          List.iter
+            (fun i1 ->
+              List.iter
+                (fun i2 ->
+                  let r_i = try Ok (interp i1 i2) with e -> Error e in
+                  let r_c = try Ok (compiled i1 i2) with e -> Error e in
+                  (match (r_i, r_c) with
+                  | Ok a, Ok b when a = b -> ()
+                  | Error _, Error _ -> ()
+                  | _ ->
+                      Obs.incr c_diverged;
+                      compile_gate_failed := true;
+                      pf "DIVERGENCE %s (%s,%s) on %a / %a@." adt first second
+                        Invocation.pp i1 Invocation.pp i2);
+                  match (r_i, !usable) with
+                  | Ok _, None -> usable := Some (i1, i2)
+                  | _ -> ())
+                (Hashtbl.find cands second))
+            (Hashtbl.find cands first);
+          let row fields =
+            spec_rows :=
+              Jsonx.Obj
+                ([
+                   ("adt", Jsonx.Str adt);
+                   ("first", Jsonx.Str first);
+                   ("second", Jsonx.Str second);
+                   ("kind", Jsonx.Str kind);
+                   ("vfun_free", Jsonx.Bool vfree);
+                 ]
+                @ fields)
+              :: !spec_rows
+          in
+          match (check, !usable) with
+          | Compile.Interp _, _ ->
+              (* state-dependent: both paths are the same staged
+                 interpreter behind a detector-supplied environment —
+                 nothing to compare *)
+              Obs.incr c_interp;
+              row [ ("measured", Jsonx.Bool false) ]
+          | _, None ->
+              Obs.incr c_skipped;
+              pf "%-18s %-14s %-14s %-12s (no canned invocations type-check)@."
+                adt first second kind;
+              row [ ("measured", Jsonx.Bool false) ]
+          | _, Some (i1, i2) ->
+              Obs.incr c_measured;
+              let t_i, w_i = measure (fun () -> interp i1 i2) in
+              let t_c, w_c = measure (fun () -> compiled i1 i2) in
+              let speedup = if t_c > 0.0 then t_i /. t_c else 0.0 in
+              let zero_alloc = w_c < 0.5 in
+              if vfree && not zero_alloc then begin
+                compile_gate_failed := true;
+                pf
+                  "ALLOCATION %s (%s,%s): %.2f words/check on a state-free \
+                   vfun-free condition@."
+                  adt first second w_c
+              end;
+              pf "%-18s %-14s %-14s %-12s %9.1f %9.1f %7.2fx %7.2f@." adt first
+                second kind (t_i *. 1e9) (t_c *. 1e9) speedup w_c;
+              row
+                [
+                  ("measured", Jsonx.Bool true);
+                  ("iters", Jsonx.Int iters);
+                  ("interp_ns_per_check", Jsonx.Float (t_i *. 1e9));
+                  ("compiled_ns_per_check", Jsonx.Float (t_c *. 1e9));
+                  ("speedup", Jsonx.Float speedup);
+                  ("interp_words_per_check", Jsonx.Float w_i);
+                  ("compiled_words_per_check", Jsonx.Float w_c);
+                  ("zero_alloc", Jsonx.Bool zero_alloc);
+                ])
+        (Compile.conditions cspec);
+      let snap = Obs.snapshot o in
+      rows :=
+        !rows
+        @ List.rev_map
+            (fun r ->
+              match r with
+              | Jsonx.Obj kvs -> Jsonx.Obj (kvs @ [ ("obs", Obs.snapshot_to_json snap) ])
+              | r -> r)
+            !spec_rows)
+    specs;
+  (* Headline: geometric-mean and minimum speedup over the state-free
+     measured pairs — the acceptance number for ROADMAP item 3. *)
+  let speedups =
+    List.filter_map
+      (function
+        | Jsonx.Obj kvs -> (
+            match
+              (List.assoc_opt "kind" kvs, List.assoc_opt "speedup" kvs)
+            with
+            | Some (Jsonx.Str ("fast" | "static-true" | "static-false")),
+              Some (Jsonx.Float s)
+              when s > 0.0 ->
+                Some s
+            | _ -> None)
+        | _ -> None)
+      !rows
+  in
+  (match speedups with
+  | [] -> pf "no state-free pairs measured@."
+  | l ->
+      let n = float_of_int (List.length l) in
+      let geo = exp (List.fold_left (fun a s -> a +. log s) 0.0 l /. n) in
+      let mn = List.fold_left min infinity l in
+      pf "state-free pairs: %d measured, geomean speedup %.2fx, min %.2fx@."
+        (List.length l) geo mn);
+  if !compile_gate_failed then
+    pf "GATE FAILED: divergence or allocation on a state-free condition@.";
+  json_doc ~experiment:"compile" ~full:(scale == full_scale) !rows
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1025,12 +1298,15 @@ let () =
     ignore (fig12 scale);
     ignore (scaling ?detector scale);
     ignore (sharding ?detector scale);
+    ignore (compile_bench scale);
     model scale;
     ablation scale;
     bechamel ()
   in
   match what with
-  | "all" -> no_json "all" all
+  | "all" ->
+      no_json "all" all;
+      if !compile_gate_failed then exit 1
   | "table1" -> emit (table1 scale)
   | "table2" -> emit (table2 scale)
   | "fig10" -> emit (json_doc ~experiment:"fig10" ~full (fig10 scale))
@@ -1039,12 +1315,16 @@ let () =
   | "figs" -> emit (figs scale)
   | "scaling" -> emit (scaling ?detector scale)
   | "sharding" -> emit (sharding ?detector scale)
+  | "compile" ->
+      let doc = compile_bench scale in
+      emit doc;
+      if !compile_gate_failed then exit 1
   | "model" -> no_json "model" (fun () -> model scale)
   | "ablation" -> no_json "ablation" (fun () -> ablation scale)
   | "bechamel" -> no_json "bechamel" bechamel
   | other ->
       pf
         "unknown experiment %S; one of \
-         all|table1|table2|fig10|fig11|fig12|figs|scaling|sharding|model|ablation|bechamel@."
+         all|table1|table2|fig10|fig11|fig12|figs|scaling|sharding|compile|model|ablation|bechamel@."
         other;
       exit 1

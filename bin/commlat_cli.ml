@@ -956,6 +956,61 @@ let explore_cmd =
       const run $ workload $ detector_arg $ txns $ steps $ max_schedules
       $ no_por $ json_file_arg $ replay $ seed)
 
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run path json =
+    let spec = load path in
+    let cspec = Compile.of_spec spec in
+    let conds = Compile.conditions cspec in
+    let count k =
+      List.length (List.filter (fun (_, ch) -> Compile.kind ch = k) conds)
+    in
+    Fmt.pr "%s: %d compiled conditions@." (Spec.adt spec) (List.length conds);
+    List.iter
+      (fun ((m1, m2), ch) -> Fmt.pr "  %-16s %-16s %s@." m1 m2 (Compile.kind ch))
+      conds;
+    let vnames = Compile.vfun_names cspec in
+    if Array.length vnames > 0 then
+      Fmt.pr "vfun table: %a@."
+        Fmt.(array ~sep:(any ", ") string)
+        vnames;
+    Fmt.pr "static-true %d, static-false %d, fast %d, interp %d@."
+      (count "static-true") (count "static-false") (count "fast")
+      (count "interp");
+    match json with
+    | None -> ()
+    | Some file ->
+        let module J = Commlat_obs.Jsonx in
+        let doc =
+          J.Obj
+            [
+              ("schema", J.Str "commlat-compile/1");
+              ("adt", J.Str (Spec.adt spec));
+              ( "vfuns",
+                J.List (Array.to_list vnames |> List.map (fun n -> J.Str n)) );
+              ( "pairs",
+                J.List
+                  (List.map
+                     (fun ((m1, m2), ch) ->
+                       J.Obj
+                         [
+                           ("first", J.Str m1);
+                           ("second", J.Str m2);
+                           ("kind", J.Str (Compile.kind ch));
+                         ])
+                     conds) );
+            ]
+        in
+        write_out file (J.to_string doc)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~exits
+       ~doc:
+         "Show how each condition of a specification compiles (static / fast \
+          / interpreted) and which vfuns get table slots.")
+    Term.(const run $ spec_file_arg () $ json_file_arg)
+
 (* ---- print ---- *)
 
 let print_cmd =
@@ -982,6 +1037,7 @@ let () =
             lint_cmd;
             synth_cmd;
             order_cmd;
+            compile_cmd;
             print_cmd;
             stats_cmd;
             explore_cmd;

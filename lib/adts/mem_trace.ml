@@ -48,7 +48,12 @@ let clear c =
   Hashtbl.reset c.reads;
   Hashtbl.reset c.writes
 
-let read_list c = Hashtbl.fold (fun k () acc -> k :: acc) c.reads []
-let write_list c = Hashtbl.fold (fun k () acc -> k :: acc) c.writes []
+(* Hashtbl.fold enumerates in bucket order, which varies with insertion
+   history; sort so profiler output and tests are deterministic. *)
+let read_list c =
+  Hashtbl.fold (fun k () acc -> k :: acc) c.reads [] |> List.sort Int.compare
+
+let write_list c =
+  Hashtbl.fold (fun k () acc -> k :: acc) c.writes [] |> List.sort Int.compare
 let read_count c = Hashtbl.length c.reads
 let write_count c = Hashtbl.length c.writes

@@ -223,6 +223,9 @@ type stripe = {
 
 type table = {
   scheme : scheme;
+  compat_bits : Compile.Bitmat.t;
+      (** [scheme.compat] packed into a bitset: the acquire path reads one
+          byte instead of chasing two array indirections *)
   nstripes : int;  (** 0 = unstriped (a single stripe) *)
   stripes : stripe array;
       (** length [nstripes + 1] when striped — the last stripe holds the
@@ -260,6 +263,7 @@ let table ?obs:obs_enabled ?(stripes = 0) scheme =
   let mu = Guard.create () in
   {
     scheme;
+    compat_bits = Compile.Bitmat.of_matrix scheme.compat;
     nstripes = stripes;
     stripes = slices;
     mu;
@@ -290,7 +294,8 @@ let acquire_locked t (s : stripe) ~txn obj mode =
   in
   List.iter
     (fun h ->
-      if h.txn <> txn && not t.scheme.compat.(h.mode).(mode) then begin
+      if h.txn <> txn && not (Compile.Bitmat.get t.compat_bits h.mode mode)
+      then begin
         Obs.incr t.c_deny;
         Obs.label t.obs ~cat:"lock_deny" t.scheme.mode_names.(mode);
         Obs.label t.obs ~cat:"abort_cause"
@@ -357,23 +362,32 @@ let compile_key (spec : Spec.t) (t : Formula.term) : Invocation.t -> Value.t =
     longer serialize on one table mutex.  A method with after-execution
     (return-value) acquisitions takes every stripe guard, since its stripe
     is unknown before [exec].  The concrete [exec] itself is briefly
-    serialized under a dedicated guard. *)
-let detector ?(reduce_scheme = true) ?(stripes = 0) ?obs (spec : Spec.t) :
-    Detector.t =
+    serialized under a dedicated guard.
+
+    [compiled] (default [false]) evaluates key terms through
+    {!Compile.key}'s zero-environment closures instead of staging an
+    environment per invocation; key values (hence lock behaviour) are
+    identical.  The compatibility matrix is always consulted through the
+    {!Compile.Bitmat} bitset. *)
+let detector ?(reduce_scheme = true) ?(stripes = 0) ?(compiled = false) ?obs
+    (spec : Spec.t) : Detector.t =
   let scheme = construct spec in
   let scheme = if reduce_scheme then reduce scheme else scheme in
   let t = table ?obs ~stripes scheme in
+  let key_fn =
+    if compiled then Compile.key spec else compile_key spec
+  in
   (* stage the key computations once per method *)
-  let compiled :
+  let compiled_acqs :
       (string, (int * bool * (Invocation.t -> Value.t) option) list) Hashtbl.t =
     Hashtbl.create 16
   in
   Hashtbl.iter
     (fun m acqs ->
-      Hashtbl.replace compiled m
+      Hashtbl.replace compiled_acqs m
         (List.map
            (fun (a : acquisition) ->
-             (a.mode, a.after_exec, Option.map (compile_key spec) a.key))
+             (a.mode, a.after_exec, Option.map key_fn a.key))
            acqs))
     scheme.acquisitions;
   let c_inv = Obs.counter t.obs "invocations" in
@@ -382,7 +396,7 @@ let detector ?(reduce_scheme = true) ?(stripes = 0) ?obs (spec : Spec.t) :
     let txn = inv.Invocation.txn in
     let acqs =
       Option.value ~default:[]
-        (Hashtbl.find_opt compiled inv.Invocation.meth.name)
+        (Hashtbl.find_opt compiled_acqs inv.Invocation.meth.name)
     in
     Obs.incr c_inv;
     (* before-execution acquisitions: ds lock and argument locks.  Their

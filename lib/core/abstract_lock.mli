@@ -75,9 +75,20 @@ val release_all : table -> int -> unit
     and the concrete execution is briefly serialized under a dedicated
     guard.  Reports exactly the conflicts of the unstriped detector.
 
+    [compiled] (default [false]) evaluates key terms through
+    {!Compile.key}'s zero-environment closures instead of staging a
+    {!Formula.env} per invocation; key values (hence lock behaviour) are
+    identical.  The mode-compatibility matrix is always consulted through
+    the {!Compile.Bitmat} bitset.
+
     @deprecated Application code should build detectors through
     {!Commlat_runtime.Protect.protect} (schemes [Abstract_lock] /
     [Sharded (Abstract_lock, n)]); this stays for detector internals and
     tests. *)
 val detector :
-  ?reduce_scheme:bool -> ?stripes:int -> ?obs:bool -> Spec.t -> Detector.t
+  ?reduce_scheme:bool ->
+  ?stripes:int ->
+  ?compiled:bool ->
+  ?obs:bool ->
+  Spec.t ->
+  Detector.t

@@ -191,17 +191,12 @@ let analyze (spec : Spec.t) : t =
     end
   in
   assign ();
+  (* Shard keys are on the hot path of every sharded insert and scan:
+     compile them to zero-environment closures (Compile.key) instead of
+     staging a Formula.env per invocation.  Key values are identical. *)
   let compiled = Hashtbl.create 8 in
   Hashtbl.iter
-    (fun m key ->
-      let c = Formula.compile_term key in
-      Hashtbl.replace compiled m (fun (inv : Invocation.t) ->
-          c
-            (Formula.env
-               ~vfun:(fun name args -> Spec.vfun spec name args)
-               ~arg:(fun _ i -> inv.Invocation.args.(i))
-               ~ret:(fun _ -> inv.Invocation.ret)
-               ())))
+    (fun m key -> Hashtbl.replace compiled m (Compile.key spec key))
     chosen;
   { spec; keys = Hashtbl.copy chosen; compiled }
 

@@ -296,13 +296,18 @@ let env ?(sfun = fun name _ _ _ -> raise (Unsupported name))
     ?(vfun = fun name _ -> raise (Unsupported name)) ~arg ~ret () =
   { arg; ret; sfun; vfun }
 
+(* Arithmetic is total.  Integer division by zero is defined as 0 (the
+   SMT-LIB-style total extension): a condition must always produce a
+   verdict — an exception escaping mid-check would leave a gatekeeper's
+   protocol half-done — and the compiled fast path (Compile) must agree
+   with this interpreter bit-for-bit.  Float division follows IEEE
+   (inf/nan), which is likewise total. *)
 let arith_op op a b =
   match (op, a, b) with
   | Add, Value.Int x, Value.Int y -> Value.Int (x + y)
   | Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
   | Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
-  | Div, Value.Int x, Value.Int y ->
-      if y = 0 then raise (Unsupported "division by zero") else Value.Int (x / y)
+  | Div, Value.Int x, Value.Int y -> Value.Int (if y = 0 then 0 else x / y)
   | Add, _, _ -> Value.Float (Value.to_float a +. Value.to_float b)
   | Sub, _, _ -> Value.Float (Value.to_float a -. Value.to_float b)
   | Mul, _, _ -> Value.Float (Value.to_float a *. Value.to_float b)

@@ -169,6 +169,19 @@ val env :
   unit ->
   env
 
+(** The (total) arithmetic of L1 terms.  Integer operands stay integers;
+    mixed or non-integer operands coerce to float via {!Value.to_float}.
+    {b Division by zero is defined}: [Int x / Int 0 = Int 0] (the
+    SMT-LIB-style total extension), and float division follows IEEE
+    (inf/nan).  A condition must always produce a verdict — an exception
+    escaping mid-check would leave a gatekeeper's protocol half-done — and
+    the compiled fast path ({!Compile}) matches this function exactly. *)
+val arith_op : arith -> Value.t -> Value.t -> Value.t
+
+(** Comparison over values: [Eq]/[Ne] are {!Value.equal}, the orderings use
+    {!Value.compare}. *)
+val cmp_op : cmp -> Value.t -> Value.t -> bool
+
 val eval_term : env -> term -> Value.t
 val eval : env -> t -> bool
 

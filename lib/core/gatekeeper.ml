@@ -107,6 +107,9 @@ type t = {
       (** per-shard guards; requires [not allow_rollback] and every
           condition state-free (no [Sfun]), so checks need no logs, no
           live [sfun] and no state reconstruction *)
+  compiled_mode : bool;
+      (** constructed with [~compiled:true]: state-free conditions check
+          through {!Compile}'s zero-environment closures *)
   (* per ordered method pair: the condition and its rollback-function set,
      precomputed at construction so the table is read-only at runtime
      (striped shards evaluate conditions concurrently) *)
@@ -142,6 +145,10 @@ type t = {
 and cond_info = {
   formula : Formula.t;
   compiled : Formula.env -> bool;  (** staged compilation of [formula] *)
+  fast : (Invocation.t -> Invocation.t -> bool) option;
+      (** {!Compile}d zero-environment checker — present when the
+          gatekeeper was built with [~compiled:true] and the condition is
+          state-free; [None] falls back to [compiled] + {!check_env} *)
   rollback_fns : (string * Formula.term list) list;
       (** s1-functions needing state reconstruction, from
           {!Formula.rollback_functions} *)
@@ -169,12 +176,25 @@ let build_cm (spec : Spec.t) =
     (Spec.pairs spec);
   cm
 
-let cond_info_of_formula formula =
+(* [cspec = Some spec] (the [~compiled:true] construction) additionally
+   compiles state-free conditions to zero-environment checkers; the staged
+   interpreter closure is kept either way, as the fallback for
+   state-dependent conditions. *)
+let cond_info_of_formula ?cspec formula =
   let rollback_fns =
     Formula.rollback_functions formula
     |> List.map (fun (name, args, _) -> (name, args))
   in
-  { formula; compiled = Formula.compile formula; rollback_fns }
+  let fast =
+    match cspec with
+    | None -> None
+    | Some spec -> (
+        match Compile.compile_condition spec formula with
+        | Compile.Static b -> Some (fun _ _ -> b)
+        | Compile.Fast f -> Some f
+        | Compile.Interp _ -> None)
+  in
+  { formula; compiled = Formula.compile formula; fast; rollback_fns }
 
 (* The condition table is fully precomputed over the spec's method pairs;
    an invocation of a method the spec never declared falls back to the
@@ -410,7 +430,8 @@ let record_avoided (t : t) idx =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let make ?(nshards = 0) ?obs:obs_enabled ~allow_rollback hooks spec =
+let make ?(nshards = 0) ?(compiled = false) ?obs:obs_enabled ~allow_rollback
+    hooks spec =
   (match Spec.classify spec with
   | Formula.General when not allow_rollback ->
       invalid_arg
@@ -440,13 +461,14 @@ let make ?(nshards = 0) ?obs:obs_enabled ~allow_rollback hooks spec =
      striped invoke path, ruling out deadlock against atomic aborts *)
   let shards = Array.init (nshards + 1) (fun _ -> fresh_shard ()) in
   let mu = Guard.create () in
+  let cspec = if compiled then Some spec else None in
   let cond_info = Hashtbl.create 32 in
   List.iter
     (fun (m1 : Invocation.meth) ->
       List.iter
         (fun (m2 : Invocation.meth) ->
           Hashtbl.replace cond_info (m1.name, m2.name)
-            (cond_info_of_formula
+            (cond_info_of_formula ?cspec
                (Spec.cond spec ~first:m1.name ~second:m2.name)))
         (Spec.methods spec))
     (Spec.methods spec);
@@ -459,8 +481,9 @@ let make ?(nshards = 0) ?obs:obs_enabled ~allow_rollback hooks spec =
     nshards;
     shards;
     striped;
+    compiled_mode = compiled;
     cond_info;
-    false_info = cond_info_of_formula Formula.False;
+    false_info = cond_info_of_formula ?cspec Formula.False;
     mutation_log = [];
     seq = 0;
     mu;
@@ -510,6 +533,48 @@ let raise_conflict (t : t) (e : entry) (inv : Invocation.t) =
   Detector.conflict ~txn:inv.Invocation.txn ~with_:e.inv.Invocation.txn
     (Fmt.str "%a does not commute with %a" Invocation.pp e.inv Invocation.pp inv)
 
+(* Batch log scan: check one {e executed} incoming invocation against
+   every active invocation it can conflict with — its own shard plus the
+   overflow shard when keyed (the footprint's shard-disjointness
+   discharges every other keyed shard), all shards otherwise — in a
+   single pass, bucket by bucket, with no intermediate list.  Trivially
+   [true] conditions skip whole buckets; compiled conditions go through
+   their zero-environment checker.  Only valid when no condition needs
+   state reconstruction against this gatekeeper's log (forward mode /
+   striped mode — the general path batches differently, via
+   {!rollback_sweep}).  The caller holds the relevant guards. *)
+let scan_active_idx (t : t) idx (inv : Invocation.t) =
+  let second = inv.Invocation.meth.name in
+  let check_bucket bucket eval =
+    List.iter
+      (fun (e : entry) ->
+        if e.inv.Invocation.txn <> inv.Invocation.txn then begin
+          Obs.incr t.c_checks;
+          if not (eval e) then raise_conflict t e inv
+        end)
+      !bucket
+  in
+  List.iter
+    (fun (sh : shard) ->
+      Hashtbl.iter
+        (fun first bucket ->
+          let info = cond_info_of t ~first ~second in
+          match info.formula with
+          | Formula.True -> ()
+          | Formula.False -> check_bucket bucket (fun _ -> false)
+          | _ -> (
+              match info.fast with
+              | Some f -> check_bucket bucket (fun e -> f e.inv inv)
+              | None ->
+                  check_bucket bucket (fun e ->
+                      info.compiled (check_env t e inv ~rb_cache:None))))
+        sh.s_active)
+    (scan_shards t idx)
+
+(* The public batch entry point: route by shard, then one-pass scan. *)
+let batch_check (t : t) (inv : Invocation.t) =
+  scan_active_idx t (shard_idx t inv) inv
+
 let on_invoke_coarse (t : t) (inv : Invocation.t) exec =
   Guard.protect t.mu (fun () ->
       Obs.incr t.c_invocations;
@@ -552,35 +617,50 @@ let on_invoke_coarse (t : t) (inv : Invocation.t) exec =
          sweep (the paper's union-find gatekeeper batches its rollback the
          same way). *)
       record_avoided t idx;
-      let needs_check = ref [] in
-      List.iter
-        (fun (sh : shard) ->
-          Hashtbl.iter
-            (fun first bucket ->
-              let info = cond_info_of t ~first ~second:inv.Invocation.meth.name in
+      if not t.allow_rollback then
+        (* Forward mode never reconstructs state, so the scan is a single
+           batch pass over the relevant shards — no intermediate list. *)
+        scan_active_idx t idx inv
+      else begin
+        let needs_check = ref [] in
+        List.iter
+          (fun (sh : shard) ->
+            Hashtbl.iter
+              (fun first bucket ->
+                let info =
+                  cond_info_of t ~first ~second:inv.Invocation.meth.name
+                in
+                match info.formula with
+                | Formula.True -> ()
+                | _ ->
+                    List.iter
+                      (fun (e : entry) ->
+                        if e.inv.Invocation.txn <> inv.Invocation.txn then
+                          needs_check := (e, info) :: !needs_check)
+                      !bucket)
+              sh.s_active)
+          (scan_shards t idx);
+        let rb_caches = rollback_sweep t inv !needs_check in
+        List.iter
+          (fun ((e : entry), info) ->
+            Obs.incr t.c_checks;
+            let ok =
               match info.formula with
-              | Formula.True -> ()
-              | _ ->
-                  List.iter
-                    (fun (e : entry) ->
-                      if e.inv.Invocation.txn <> inv.Invocation.txn then
-                        needs_check := (e, info) :: !needs_check)
-                    !bucket)
-            sh.s_active)
-        (scan_shards t idx);
-      let rb_caches = rollback_sweep t inv !needs_check in
-      List.iter
-        (fun ((e : entry), info) ->
-          Obs.incr t.c_checks;
-          let ok =
-            match info.formula with
-            | Formula.False -> false
-            | _ ->
-                let rb_cache = Hashtbl.find_opt rb_caches e.inv.Invocation.uid in
-                info.compiled (check_env t e inv ~rb_cache)
-          in
-          if not ok then raise_conflict t e inv)
-        !needs_check;
+              | Formula.False -> false
+              | _ -> (
+                  match Hashtbl.find_opt rb_caches e.inv.Invocation.uid with
+                  | None when info.rollback_fns = [] && info.fast <> None ->
+                      (* compiled construction: state-free conditions keep
+                         their zero-environment checker even on the
+                         general path *)
+                      (match info.fast with
+                      | Some f -> f e.inv inv
+                      | None -> assert false)
+                  | rb_cache -> info.compiled (check_env t e inv ~rb_cache))
+            in
+            if not ok then raise_conflict t e inv)
+          !needs_check
+      end;
       if t.allow_rollback then insert ();
       r)
 
@@ -634,29 +714,8 @@ let on_invoke_striped (t : t) (inv : Invocation.t) exec =
           raise e
       in
       record_avoided t idx;
-      (* conditions are state-free: evaluate directly, no logs, no sweeps *)
-      List.iter
-        (fun (s : shard) ->
-          Hashtbl.iter
-            (fun first bucket ->
-              let info = cond_info_of t ~first ~second:inv.Invocation.meth.name in
-              match info.formula with
-              | Formula.True -> ()
-              | _ ->
-                  List.iter
-                    (fun (e : entry) ->
-                      if e.inv.Invocation.txn <> inv.Invocation.txn then begin
-                        Obs.incr t.c_checks;
-                        let ok =
-                          match info.formula with
-                          | Formula.False -> false
-                          | _ -> info.compiled (check_env t e inv ~rb_cache:None)
-                        in
-                        if not ok then raise_conflict t e inv
-                      end)
-                    !bucket)
-            s.s_active)
-        (scan_shards t idx);
+      (* conditions are state-free: one batch pass, no logs, no sweeps *)
+      scan_active_idx t idx inv;
       r)
 
 let on_invoke (t : t) (inv : Invocation.t) exec =
@@ -743,6 +802,7 @@ let rollback_count (t : t) = !(t.stats_rollbacks)
 let obs (t : t) = t.obs
 let footprint (t : t) = t.fp
 let striped (t : t) = t.striped
+let is_compiled (t : t) = t.compiled_mode
 
 (** The [C_m] log set of a method: the s1-functions whose results the
     gatekeeper records on every invocation of [m] (exposed so tests can pin
@@ -780,29 +840,29 @@ let detector ~name (t : t) : Detector.t =
 (** Forward gatekeeper (paper §3.3.1).  Requires an ONLINE-CHECKABLE spec;
     never rolls the data structure back, so [hooks.undo]/[redo] are unused
     and a bare [hooks sfun] suffices. *)
-let forward ?obs ~hooks:h (spec : Spec.t) : Detector.t * t =
-  let t = make ?obs ~allow_rollback:false h spec in
+let forward ?compiled ?obs ~hooks:h (spec : Spec.t) : Detector.t * t =
+  let t = make ?compiled ?obs ~allow_rollback:false h spec in
   (detector ~name:(Fmt.str "fwd-gk(%s)" (Spec.adt spec)) t, t)
 
 (** General gatekeeper (paper §3.3.2).  Accepts any L1 spec; needs working
     [undo]/[redo] hooks. *)
-let general ?obs ~hooks:h (spec : Spec.t) : Detector.t * t =
-  let t = make ?obs ~allow_rollback:true h spec in
+let general ?compiled ?obs ~hooks:h (spec : Spec.t) : Detector.t * t =
+  let t = make ?compiled ?obs ~allow_rollback:true h spec in
   (detector ~name:(Fmt.str "gen-gk(%s)" (Spec.adt spec)) t, t)
 
 (** Footprint-sharded forward gatekeeper.  When every condition is
     state-free the shards are striped under per-shard guards; otherwise the
     sharding only narrows the scan (single guard). *)
-let forward_sharded ?(nshards = 16) ?obs ~hooks:h (spec : Spec.t) :
+let forward_sharded ?(nshards = 16) ?compiled ?obs ~hooks:h (spec : Spec.t) :
     Detector.t * t =
-  let t = make ~nshards ?obs ~allow_rollback:false h spec in
+  let t = make ~nshards ?compiled ?obs ~allow_rollback:false h spec in
   (detector ~name:(Fmt.str "fwd-gk-sharded(%s)" (Spec.adt spec)) t, t)
 
 (** Footprint-sharded general gatekeeper: the active table is sharded (the
     scan narrows to own shard + overflow) but the gatekeeper keeps its
     single guard — past-state reconstruction needs a globally ordered
     mutation log. *)
-let general_sharded ?(nshards = 16) ?obs ~hooks:h (spec : Spec.t) :
+let general_sharded ?(nshards = 16) ?compiled ?obs ~hooks:h (spec : Spec.t) :
     Detector.t * t =
-  let t = make ~nshards ?obs ~allow_rollback:true h spec in
+  let t = make ~nshards ?compiled ?obs ~allow_rollback:true h spec in
   (detector ~name:(Fmt.str "gen-gk-sharded(%s)" (Spec.adt spec)) t, t)

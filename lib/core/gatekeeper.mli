@@ -82,6 +82,23 @@ val footprint : t -> Footprint.t option
     rather than a single global guard. *)
 val striped : t -> bool
 
+(** Whether the gatekeeper was built with [~compiled:true] (state-free
+    conditions check through {!Compile}'s zero-environment closures). *)
+val is_compiled : t -> bool
+
+(** Batch log scan: check one {e executed} incoming invocation against
+    every active invocation it can conflict with — its own shard plus the
+    overflow shard when keyed (the footprint's shard-disjointness
+    discharges the other keyed shards), all shards otherwise — in a
+    single pass with no intermediate list, raising {!Detector.Conflict}
+    on the first refutation.  This is the scan the forward and striped
+    invoke paths run after [exec]; it is exposed for tests and for
+    embedders that manage their own entry insertion.  Preconditions: the
+    caller holds the gatekeeper's guard(s) for the scanned shards, and no
+    condition involving [inv]'s method needs state reconstruction (always
+    true for forward/striped gatekeepers). *)
+val batch_check : t -> Invocation.t -> unit
+
 (** The [C_m] log set of a method: the s1-functions (name, argument terms)
     recorded on every invocation of that method.  Order is unspecified. *)
 val cm_functions : t -> string -> (string * Formula.term list) list
@@ -90,20 +107,25 @@ val cm_functions : t -> string -> (string * Formula.term list) list
     spec has non-ONLINE-CHECKABLE conditions; [hooks.undo]/[redo] are never
     used, so bare [hooks sfun] suffices.  [?obs] enables/disables the
     observability registry (defaults to the [COMMLAT_OBS] environment
-    toggle; see {!Commlat_obs.Obs.create}).
+    toggle; see {!Commlat_obs.Obs.create}).  [?compiled] (default [false])
+    swaps every state-free condition's per-check environment construction
+    for a {!Compile}d zero-allocation closure; verdicts are identical (see
+    the differential suite).
 
     @deprecated Application code should build detectors through
     {!Commlat_runtime.Protect.protect} (schemes [Forward_gk] /
     [Sharded (Forward_gk, n)]); the constructors here stay for detector
     internals and tests. *)
-val forward : ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
+val forward :
+  ?compiled:bool -> ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
 
 (** General gatekeeper (paper §3.3.2).  Accepts any L1 spec; needs working
     [undo]/[redo] hooks (or [sfun_at]).
 
     @deprecated Prefer {!Commlat_runtime.Protect.protect} (scheme
     [General_gk]). *)
-val general : ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
+val general :
+  ?compiled:bool -> ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
 
 (** Footprint-sharded forward gatekeeper ([nshards] defaults to 16).  When
     every condition is state-free the shards are striped under per-shard
@@ -111,10 +133,20 @@ val general : ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
     {!forward} in the conflicts it reports; [Footprint.all_keyless] specs
     degenerate to a single overflow shard (= unsharded behavior). *)
 val forward_sharded :
-  ?nshards:int -> ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
+  ?nshards:int ->
+  ?compiled:bool ->
+  ?obs:bool ->
+  hooks:hooks ->
+  Spec.t ->
+  Detector.t * t
 
 (** Footprint-sharded general gatekeeper: the check scan narrows to own
     shard + overflow, but a single guard is kept — past-state
     reconstruction needs a globally ordered mutation log. *)
 val general_sharded :
-  ?nshards:int -> ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
+  ?nshards:int ->
+  ?compiled:bool ->
+  ?obs:bool ->
+  hooks:hooks ->
+  Spec.t ->
+  Detector.t * t

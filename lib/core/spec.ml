@@ -61,9 +61,22 @@ let cond t ~first ~second =
   | Some f -> f
   | None -> Formula.False
 
-let pairs t =
+(* Hashtbl.fold order depends on the hash seed and insertion history, so
+   every enumeration of the condition table is sorted by method-name pair
+   before anyone sees it: JSON diagnostics, goldens, the spec compiler and
+   the CEGIS loop all iterate this list and must not flake across OCaml
+   hash-seed changes.  Keys are unique, so sorting by key alone is a total
+   deterministic order. *)
+let all_conditions t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.conditions []
-  |> List.sort Stdlib.compare
+  |> List.sort (fun (k1, _) (k2, _) -> Stdlib.compare (k1 : string * string) k2)
+
+let pairs = all_conditions
+
+(** Interpretation of a pure value function, resolved once ([None] if the
+    spec does not define it) — the spec compiler calls this at compile
+    time instead of paying {!vfun}'s [List.assoc] on every evaluation. *)
+let vfun_impl t name = List.assoc_opt name t.vfuns
 
 (** Classification of a whole specification: the weakest scheme able to
     implement it (paper §3.4's hierarchy).  A spec is SIMPLE iff all its

@@ -44,8 +44,20 @@ val add_sym : t -> string -> string -> Formula.t -> unit
     when unspecified. *)
 val cond : t -> first:string -> second:string -> Formula.t
 
-(** All registered (ordered pair, condition) entries, sorted. *)
+(** All registered (ordered pair, condition) entries, in a deterministic
+    order (sorted by method-name pair) — never raw [Hashtbl.fold] order,
+    so JSON diagnostics and goldens cannot flake across hash-seed
+    changes. *)
+val all_conditions : t -> ((string * string) * Formula.t) list
+
+(** Alias of {!all_conditions} (historical name). *)
 val pairs : t -> ((string * string) * Formula.t) list
+
+(** Interpretation of a pure value function, resolved once; [None] if the
+    spec does not define it.  The spec compiler ({!Compile}) uses this at
+    compile time instead of paying {!vfun}'s [List.assoc] per
+    evaluation. *)
+val vfun_impl : t -> string -> (Value.t list -> Value.t) option
 
 (** Classification of a whole specification: the weakest scheme able to
     implement it (paper §3.4's hierarchy).  SIMPLE iff all conditions are;

@@ -98,21 +98,34 @@ let require_hooks name = function
     enables/disables the detector's observability registry.
     [?reduce_scheme] is forwarded to {!Abstract_lock.detector}.
 
+    [?compiled] (default [false]) routes conflict checks through the spec
+    compiler ({!Commlat_core.Compile}): gatekeepers evaluate state-free
+    conditions with zero-environment, zero-allocation closures, and
+    abstract locks compute lock keys the same way.  Verdicts are identical
+    to the interpreter's on every input (differential-tested); the option
+    exists so the two evaluation paths stay individually selectable and
+    benchmarkable.  [Global_lock] and [Stm] never evaluate conditions, so
+    they ignore it.
+
     Raises [Invalid_argument] when the scheme needs something the [adt]
     record doesn't offer (gatekeeper hooks, an STM tracer connector), when
     the spec is outside the scheme's logic fragment (non-SIMPLE spec under
     [Abstract_lock], non-ONLINE-CHECKABLE under [Forward_gk]), or on a
     malformed [Sharded] scheme ([Sharded] applies to gatekeepers and
     abstract locking only, and does not nest). *)
-let protect ?obs ?reduce_scheme ~(spec : Spec.t) ~(adt : adt) (s : scheme) :
-    Detector.t =
+let protect ?obs ?reduce_scheme ?compiled ~(spec : Spec.t) ~(adt : adt)
+    (s : scheme) : Detector.t =
   match s with
   | Global_lock -> Detector.global_lock ?obs ()
-  | Abstract_lock -> Abstract_lock.detector ?reduce_scheme ?obs spec
+  | Abstract_lock -> Abstract_lock.detector ?reduce_scheme ?compiled ?obs spec
   | Forward_gk ->
-      fst (Gatekeeper.forward ?obs ~hooks:(require_hooks "fwd-gk" adt) spec)
+      fst
+        (Gatekeeper.forward ?compiled ?obs
+           ~hooks:(require_hooks "fwd-gk" adt) spec)
   | General_gk ->
-      fst (Gatekeeper.general ?obs ~hooks:(require_hooks "gen-gk" adt) spec)
+      fst
+        (Gatekeeper.general ?compiled ?obs
+           ~hooks:(require_hooks "gen-gk" adt) spec)
   | Stm -> (
       match adt.connect_tracer with
       | None -> invalid_arg "Protect.protect: stm needs adt connect_tracer"
@@ -126,13 +139,14 @@ let protect ?obs ?reduce_scheme ~(spec : Spec.t) ~(adt : adt) (s : scheme) :
       match base with
       | Forward_gk ->
           fst
-            (Gatekeeper.forward_sharded ~nshards:n ?obs
+            (Gatekeeper.forward_sharded ~nshards:n ?compiled ?obs
                ~hooks:(require_hooks "fwd-gk-sharded" adt) spec)
       | General_gk ->
           fst
-            (Gatekeeper.general_sharded ~nshards:n ?obs
+            (Gatekeeper.general_sharded ~nshards:n ?compiled ?obs
                ~hooks:(require_hooks "gen-gk-sharded" adt) spec)
-      | Abstract_lock -> Abstract_lock.detector ?reduce_scheme ~stripes:n ?obs spec
+      | Abstract_lock ->
+          Abstract_lock.detector ?reduce_scheme ~stripes:n ?compiled ?obs spec
       | Global_lock | Stm | Sharded _ ->
           invalid_arg
             (Fmt.str "Protect.protect: %s cannot be sharded" (scheme_name base)))

@@ -56,11 +56,25 @@ val adt :
     enables/disables the detector's observability registry;
     [?reduce_scheme] is forwarded to {!Abstract_lock.detector}.
 
+    [?compiled] (default [false]) routes conflict checks through the spec
+    compiler ({!Commlat_core.Compile}): gatekeepers evaluate state-free
+    conditions with zero-environment, zero-allocation closures, and
+    abstract locks compute lock keys the same way.  Verdicts are identical
+    to the interpreter's (differential-tested; see the [compile] bench for
+    the throughput gap).  [Global_lock] and [Stm] never evaluate
+    conditions, so they ignore it.
+
     Raises [Invalid_argument] when the scheme needs something the [adt]
     record doesn't offer, when the spec is outside the scheme's logic
     fragment, or on a malformed [Sharded] scheme. *)
 val protect :
-  ?obs:bool -> ?reduce_scheme:bool -> spec:Spec.t -> adt:adt -> scheme -> Detector.t
+  ?obs:bool ->
+  ?reduce_scheme:bool ->
+  ?compiled:bool ->
+  spec:Spec.t ->
+  adt:adt ->
+  scheme ->
+  Detector.t
 
 (** Every base scheme, coarsest first. *)
 val all_schemes : scheme list

@@ -42,9 +42,18 @@ let detector ~buggy () : Detector.t =
         let v = exec () in
         inv.Invocation.ret <- v;
         if Hashtbl.length active > 1 then
+          (* Deterministic partner choice: Hashtbl.fold visits buckets in
+             hash order, so "last other txn seen" depends on table layout
+             (and polymorphic [=] on ints is an accident waiting for a key
+             type change).  Pick the lowest-id other transaction instead —
+             replayed schedules then always blame the same pair. *)
           let other =
-            Hashtbl.fold (fun t () acc -> if t = txn then acc else t) active
-              (-1)
+            Hashtbl.fold
+              (fun t () acc ->
+                if Int.equal t txn then acc
+                else if acc < 0 || t < acc then t
+                else acc)
+              active (-1)
           in
           Detector.conflict ~txn ~with_:other "another transaction is active"
         else v)

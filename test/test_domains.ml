@@ -219,6 +219,23 @@ let set_detectors : (string * (Iset.t -> Detector.t)) list =
       fun _ ->
         Protect.protect ~spec:(Iset.simple_spec ()) ~adt:(Protect.adt ())
           (Protect.Sharded (Protect.Abstract_lock, 8)) );
+    (* compiled-condition variants must be conflict-for-conflict identical
+       to their interpreted counterparts (the spec compiler's contract) *)
+    ( "fwd-gk-compiled",
+      fun set ->
+        Protect.protect ~compiled:true ~spec:(Iset.precise_spec ())
+          ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+          Protect.Forward_gk );
+    ( "fwd-gk-sharded-compiled",
+      fun set ->
+        Protect.protect ~compiled:true ~spec:(Iset.precise_spec ())
+          ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+          (Protect.Sharded (Protect.Forward_gk, 8)) );
+    ( "abslock-rw-striped-compiled",
+      fun _ ->
+        Protect.protect ~compiled:true ~spec:(Iset.simple_spec ())
+          ~adt:(Protect.adt ())
+          (Protect.Sharded (Protect.Abstract_lock, 8)) );
   ]
 
 (* Multi-op transactions on a kvmap, overlapping key ranges plus a keyless

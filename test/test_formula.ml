@@ -43,8 +43,17 @@ let test_eval_terms () =
 
 let test_division () =
   check_bool "int div" true (eval env0 (eq (Arith (Div, cint 7, cint 2)) (cint 3)));
-  Alcotest.check_raises "div by zero" (Unsupported "division by zero") (fun () ->
-      ignore (eval env0 (eq (Arith (Div, cint 7, cint 0)) (cint 0))))
+  (* Division is total: x/0 = 0 for ints (no exception may escape a
+     gatekeeper check mid-protocol), IEEE inf/nan for floats. *)
+  check_bool "int div by zero is 0" true
+    (eval env0 (eq (Arith (Div, cint 7, cint 0)) (cint 0)));
+  check_bool "int div by zero, negative numerator" true
+    (eval env0 (eq (Arith (Div, cint (-7), cint 0)) (cint 0)));
+  check_bool "float div by zero is +inf" true
+    (eval env0
+       (gt
+          (Arith (Div, Const (Value.Float 1.), cint 0))
+          (Const (Value.Float 1e300))))
 
 (* ---- classification ---- *)
 

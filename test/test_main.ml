@@ -5,6 +5,7 @@ let () =
     [
       ("value", Test_value.suite);
       ("formula", Test_formula.suite);
+      ("compile", Test_compile.suite);
       ("lattice", Test_lattice.suite);
       ("spec", Test_spec.suite);
       ("spec-lang", Test_spec_lang.suite);

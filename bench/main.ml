@@ -1237,6 +1237,75 @@ let compile_bench scale =
   json_doc ~experiment:"compile" ~full:(scale == full_scale) !rows
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the service under open-loop load (DESIGN.md §11)             *)
+(* ------------------------------------------------------------------ *)
+
+module Load = Commlat_server.Load
+module Histo = Commlat_obs.Histo
+
+(* Same cells as `commlat load --self-serve`: each (domain count, mix)
+   pair gets a freshly spawned `commlat serve` child on a private Unix
+   socket, so what is measured is the real CLI binary over a real
+   socket, not an in-process shortcut.  A nonzero server exit fails the
+   run.  Default scale keeps CI-sized cells (1 s each); --full matches
+   the committed BENCH_serve.json (8000 req/s, 2 s, all four mixes). *)
+let serve_bench scale =
+  header "SERVE: open-loop load, commuting vs non-commuting mixes";
+  let full = scale == full_scale in
+  let exe =
+    let cand =
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        (Filename.concat ".." (Filename.concat "bin" "commlat_cli.exe"))
+    in
+    if Sys.file_exists cand then cand
+    else
+      failwith
+        "bench serve: bin/commlat_cli.exe not found next to the bench \
+         binary (run `dune build` first)"
+  in
+  let rate = if full then 8000.0 else 4000.0 in
+  let duration = if full then 2.0 else 1.0 in
+  let mixes =
+    if full then Load.all_mixes
+    else [ Load.Read_heavy; Load.Commuting; Load.Non_commuting ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun mix ->
+          let cfg =
+            {
+              Load.default_config with
+              Load.rate;
+              duration;
+              mix;
+              keys = 200 (* hot key space: contention must be possible *);
+              seed = !run_seed;
+            }
+          in
+          let r, status =
+            Load.with_server ~exe ~domains (fun addr ->
+                Load.run { cfg with Load.addr = addr })
+          in
+          (match status with
+          | Unix.WEXITED 0 -> ()
+          | _ -> failwith "bench serve: server child exited abnormally");
+          let q ql = float_of_int (Histo.quantile r.Load.hist ql) *. 1e-6 in
+          pf
+            "  %-13s %d domains: %5d/%-5d ok (%d errors), %6.0f req/s, p50 \
+             %.3fms p99 %.3fms p999 %.3fms@."
+            (Load.mix_name mix) domains r.Load.completed r.Load.sent
+            r.Load.errors
+            (float_of_int r.Load.completed /. r.Load.elapsed)
+            (q 0.50) (q 0.99) (q 0.999);
+          rows := Load.row_json ~cfg ~domains r :: !rows)
+        mixes)
+    [ 2; 4 ];
+  json_doc ~experiment:"serve" ~full (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1315,6 +1384,7 @@ let () =
   | "figs" -> emit (figs scale)
   | "scaling" -> emit (scaling ?detector scale)
   | "sharding" -> emit (sharding ?detector scale)
+  | "serve" -> emit (serve_bench scale)
   | "compile" ->
       let doc = compile_bench scale in
       emit doc;
@@ -1325,6 +1395,6 @@ let () =
   | other ->
       pf
         "unknown experiment %S; one of \
-         all|table1|table2|fig10|fig11|fig12|figs|scaling|sharding|compile|model|ablation|bechamel@."
+         all|table1|table2|fig10|fig11|fig12|figs|scaling|sharding|serve|compile|model|ablation|bechamel@."
         other;
       exit 1

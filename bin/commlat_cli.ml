@@ -1011,6 +1011,233 @@ let compile_cmd =
           / interpreted) and which vfuns get table slots.")
     Term.(const run $ spec_file_arg () $ json_file_arg)
 
+(* ---- serve / load ---- *)
+
+(* Shared address arguments: --socket PATH (Unix domain) wins over
+   --host/--port (TCP). *)
+let addr_args () =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path (takes precedence over --port).")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with $(b,--port)).")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to serve/target.")
+  in
+  let combine socket host port =
+    match (socket, port) with
+    | Some p, _ -> Some (Commlat_server.Server.Unix_sock p)
+    | None, Some pt -> Some (Commlat_server.Server.Tcp (host, pt))
+    | None, None -> None
+  in
+  Term.(const combine $ socket $ host $ port)
+
+let domains_list_arg =
+  let dlist_conv =
+    let parse s =
+      try
+        let l = String.split_on_char ',' s |> List.map int_of_string in
+        if l = [] || List.exists (fun d -> d < 1) l then failwith "bad"
+        else Ok l
+      with _ -> Error (`Msg (Fmt.str "bad domain list %S (want e.g. 2,4)" s))
+    in
+    Arg.conv (parse, fun ppf l -> Fmt.(list ~sep:comma int) ppf l)
+  in
+  Arg.(
+    value & opt dlist_conv [ 2 ]
+    & info [ "domains" ] ~docv:"N[,N...]"
+        ~doc:
+          "Worker domain counts: a single value for $(b,serve) and \
+           external-server $(b,load), a comma-separated sweep for \
+           $(b,load --self-serve).")
+
+let serve_cmd =
+  let open Commlat_server in
+  let run addr domains batch shards quiet =
+    let domains = match domains with [ d ] -> d | _ ->
+      Fmt.epr "serve: --domains takes a single value@.";
+      exit 2
+    in
+    let addr = Option.value addr ~default:(Server.Unix_sock "/tmp/commlat.sock") in
+    let cfg =
+      { Server.default_config with addr; domains; batch; nshards = shards;
+        verbose = not quiet }
+    in
+    ignore (Server.run cfg)
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Epoch size: max requests a worker drains per group commit.")
+  in
+  let shards =
+    Arg.(
+      value & opt int Engine.default_nshards
+      & info [ "shards" ] ~docv:"N" ~doc:"Detector shards per exposed ADT.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No startup banner.") in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Serve the protected ADTs (kvmap, set, orset, union-find) over the \
+          length-prefixed wire protocol until a Quit request arrives. \
+          Requests route to worker domains by footprint shard key; each \
+          worker group-commits its epoch's transactions.")
+    Term.(const run $ addr_args () $ domains_list_arg $ batch $ shards $ quiet)
+
+let load_cmd =
+  let open Commlat_server in
+  let run addr self_serve domains mixes rate duration conns keys theta seed
+      json_file =
+    let mixes =
+      List.map
+        (fun m ->
+          match Load.mix_of_string m with
+          | Ok m -> m
+          | Error e ->
+              Fmt.epr "load: %s@." e;
+              exit 2)
+        mixes
+    in
+    let cfg_of mix =
+      { Load.default_config with conns; rate; duration; keys; theta; seed; mix }
+    in
+    let failed = ref false in
+    let rows = ref [] in
+    let report ~domains mix (r : Load.result) =
+      Fmt.pr
+        "%-14s %d domains: %6d/%d ok (%d errors), %8.0f req/s, p50 %.3fms \
+         p99 %.3fms p999 %.3fms@."
+        (Load.mix_name mix) domains r.Load.completed r.Load.sent r.Load.errors
+        (float_of_int r.Load.completed /. r.Load.elapsed)
+        (float_of_int (Commlat_obs.Histo.quantile r.Load.hist 0.5) *. 1e-6)
+        (float_of_int (Commlat_obs.Histo.quantile r.Load.hist 0.99) *. 1e-6)
+        (float_of_int (Commlat_obs.Histo.quantile r.Load.hist 0.999) *. 1e-6);
+      if r.Load.completed = 0 then failed := true
+    in
+    (if self_serve then
+       let exe = Sys.executable_name in
+       List.iter
+         (fun d ->
+           List.iter
+             (fun mix ->
+               let cfg = cfg_of mix in
+               let r, status =
+                 Load.with_server ~exe ~domains:d (fun addr ->
+                     Load.run { cfg with addr })
+               in
+               (match status with
+               | Unix.WEXITED 0 -> ()
+               | _ ->
+                   Fmt.epr "load: server exited abnormally@.";
+                   failed := true);
+               report ~domains:d mix r;
+               rows := Load.row_json ~cfg ~domains:d r :: !rows)
+             mixes)
+         domains
+     else
+       let addr =
+         match addr with
+         | Some a -> a
+         | None ->
+             Fmt.epr
+               "load: need --socket or --port (or --self-serve to spawn the \
+                server)@.";
+             exit 2
+       in
+       let d = match domains with [ d ] -> d | _ ->
+         Fmt.epr "load: --domains takes a single value without --self-serve@.";
+         exit 2
+       in
+       List.iter
+         (fun mix ->
+           let cfg = { (cfg_of mix) with Load.addr } in
+           let r = Load.run cfg in
+           report ~domains:d mix r;
+           rows := Load.row_json ~cfg ~domains:d r :: !rows)
+         mixes);
+    (match json_file with
+    | None -> ()
+    | Some file ->
+        let doc =
+          Jsonx.Obj
+            [
+              ("schema", Jsonx.Str "commlat-bench/1");
+              ("experiment", Jsonx.Str "serve");
+              ("seed", Jsonx.Int seed);
+              ("scale", Jsonx.Str "default");
+              ("rows", Jsonx.List (List.rev !rows));
+            ]
+        in
+        write_out file (Jsonx.to_string doc ^ "\n"));
+    if !failed then exit 1
+  in
+  let self_serve =
+    Arg.(
+      value & flag
+      & info [ "self-serve" ]
+          ~doc:
+            "Spawn a $(b,commlat serve) child per (domain count, mix) cell \
+             on a private Unix socket, and fail if any child exits nonzero.")
+  in
+  let mixes =
+    Arg.(
+      value
+      & opt (list string) [ "read-heavy"; "write-heavy" ]
+      & info [ "mixes" ] ~docv:"MIX,..."
+          ~doc:
+            "Workload mixes: read-heavy, write-heavy, commuting, \
+             non-commuting.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Aggregate open-loop target rate (requests/second).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Scheduled load per cell.")
+  in
+  let conns =
+    Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc:"Client connections.")
+  in
+  let keys =
+    Arg.(
+      value & opt int 100_000
+      & info [ "keys" ] ~docv:"N" ~doc:"Key-space size for the Zipf sampler.")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ] ~docv:"T" ~doc:"Zipf exponent (0 = uniform).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "load" ~exits
+       ~doc:
+         "Open-loop load generator for $(b,commlat serve): Zipf-skewed \
+          mixes at a target rate with coordinated-omission-safe latency \
+          recording (p50/p99/p999), emitting commlat-bench/1 JSON that \
+          $(b,commlat stats --validate) accepts.")
+    Term.(
+      const run $ addr_args () $ self_serve $ domains_list_arg $ mixes $ rate
+      $ duration $ conns $ keys $ theta $ seed $ json_file_arg)
+
 (* ---- print ---- *)
 
 let print_cmd =
@@ -1041,4 +1268,6 @@ let () =
             print_cmd;
             stats_cmd;
             explore_cmd;
+            serve_cmd;
+            load_cmd;
           ]))

@@ -23,9 +23,25 @@
 
 open Commlat_core
 
-type t = { pairs : unit Value.Tbl.t }
+type t = {
+  pairs : unit Value.Tbl.t;
+  presence_log : (int, bool) Hashtbl.t;
+      (** pre-state presence per executed invocation uid; see
+          {!exec_logged}.  Per-instance: a module-global table would be
+          shared across instances (two sets logging the same uid clobber
+          each other) and leak entries forever on commit. *)
+  log_mu : Mutex.t;
+      (** protects [presence_log]: detector guards serialize invocations on
+          {e one} instance, but nothing else orders two instances' logs, and
+          [Hashtbl] is not domain-safe. *)
+}
 
-let create () = { pairs = Value.Tbl.create 64 }
+let create () =
+  {
+    pairs = Value.Tbl.create 64;
+    presence_log = Hashtbl.create 64;
+    log_mu = Mutex.create ();
+  }
 
 let key e i = Value.Pair (e, i)
 let add t e i = Value.Tbl.replace t.pairs (key e i) ()
@@ -77,6 +93,49 @@ let exec (t : t) name (args : Value.t array) : Value.t =
       Value.Unit
   | _ -> Value.type_error "orset: bad invocation %s/%d" name (Array.length args)
 
+(** Undo is not observation-driven (returns are unit), so it must consult
+    the pre-state: an [add] of a pair that was already present undoes to a
+    no-op.  Presence is logged per instance in [t.presence_log], keyed by
+    invocation uid; entries are dropped both by {!undo} and — for
+    invocations that commit and are never undone — by the {!forget} hook
+    the gatekeeper calls from its end-of-transaction sweep, so the log
+    cannot grow without bound in a long-running process. *)
+
+let exec_logged (t : t) (inv : Invocation.t) : Value.t =
+  let e = inv.Invocation.args.(0) and i = inv.Invocation.args.(1) in
+  let was = mem t e i in
+  Mutex.protect t.log_mu (fun () ->
+      Hashtbl.replace t.presence_log inv.Invocation.uid was);
+  exec t inv.Invocation.meth.name inv.Invocation.args
+
+let undo (t : t) (inv : Invocation.t) =
+  let e = inv.Invocation.args.(0) and i = inv.Invocation.args.(1) in
+  let was =
+    Mutex.protect t.log_mu (fun () ->
+        let w = Hashtbl.find_opt t.presence_log inv.Invocation.uid in
+        Hashtbl.remove t.presence_log inv.Invocation.uid;
+        w)
+  in
+  (* [None]: the invocation never executed on THIS instance (e.g. its exec
+     raised before logging, or the undo was routed to the wrong set) —
+     undoing anything would corrupt the state it never touched. *)
+  match was with
+  | None -> ()
+  | Some was -> (
+      match inv.Invocation.meth.name with
+      | "add" -> if not was then remove t e i
+      | "remove" -> if was then add t e i
+      | _ -> ())
+
+let forget (t : t) (inv : Invocation.t) =
+  Mutex.protect t.log_mu (fun () ->
+      Hashtbl.remove t.presence_log inv.Invocation.uid)
+
+(** Number of live presence-log entries (regression handle: must return to
+    0 once every transaction has committed or aborted). *)
+let log_size (t : t) =
+  Mutex.protect t.log_mu (fun () -> Hashtbl.length t.presence_log)
+
 let invoke (det : Detector.t) (t : t) ~txn name e i : unit =
   let meth =
     match name with
@@ -85,31 +144,13 @@ let invoke (det : Detector.t) (t : t) ~txn name e i : unit =
     | _ -> invalid_arg ("orset: no method " ^ name)
   in
   let inv = Invocation.make ~txn meth [| e; i |] in
-  ignore (det.Detector.on_invoke inv (fun () -> exec t name inv.Invocation.args))
-
-(** Undo is not observation-driven (returns are unit), so it must consult
-    the pre-state: an [add] of a pair that was already present undoes to a
-    no-op.  We log presence in a side table keyed by invocation uid. *)
-let presence_log : (int, bool) Hashtbl.t = Hashtbl.create 64
-
-let exec_logged (t : t) (inv : Invocation.t) : Value.t =
-  let e = inv.Invocation.args.(0) and i = inv.Invocation.args.(1) in
-  Hashtbl.replace presence_log inv.Invocation.uid (mem t e i);
-  exec t inv.Invocation.meth.name inv.Invocation.args
-
-let undo (t : t) (inv : Invocation.t) =
-  let e = inv.Invocation.args.(0) and i = inv.Invocation.args.(1) in
-  let was = Option.value ~default:false (Hashtbl.find_opt presence_log inv.Invocation.uid) in
-  Hashtbl.remove presence_log inv.Invocation.uid;
-  match inv.Invocation.meth.name with
-  | "add" -> if not was then remove t e i
-  | "remove" -> if was then add t e i
-  | _ -> ()
+  ignore (det.Detector.on_invoke inv (fun () -> exec_logged t inv))
 
 let hooks (t : t) =
   Gatekeeper.hooks
     ~undo:(fun inv -> undo t inv)
     ~redo:(fun inv -> ignore (exec_logged t inv))
+    ~forget:(fun inv -> forget t inv)
     (fun name _ -> raise (Formula.Unsupported ("orset sfun " ^ name)))
 
 (* ------------------------------------------------------------------ *)

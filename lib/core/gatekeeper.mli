@@ -93,8 +93,14 @@ val is_compiled : t -> bool
     single pass with no intermediate list, raising {!Detector.Conflict}
     on the first refutation.  This is the scan the forward and striped
     invoke paths run after [exec]; it is exposed for tests and for
-    embedders that manage their own entry insertion.  Preconditions: the
-    caller holds the gatekeeper's guard(s) for the scanned shards, and no
+    embedders that manage their own entry insertion.  The server
+    (lib/server/engine.ml) also uses it as a {e zero-insertion conflict
+    probe}: a method that is effect-free both abstractly and concretely
+    executes under the guards, stamps its return, and batch-checks — if
+    the scan passes, the read commits without ever entering the log,
+    which is sound because a committed invocation is not required to
+    stay visible to later conflict checks.  Preconditions: the caller
+    holds the gatekeeper's guard(s) for the scanned shards, and no
     condition involving [inv]'s method needs state reconstruction (always
     true for forward/striped gatekeepers). *)
 val batch_check : t -> Invocation.t -> unit

@@ -98,14 +98,16 @@ let require_hooks name = function
     enables/disables the detector's observability registry.
     [?reduce_scheme] is forwarded to {!Abstract_lock.detector}.
 
-    [?compiled] (default [false]) routes conflict checks through the spec
+    [?compiled] (default [true]) routes conflict checks through the spec
     compiler ({!Commlat_core.Compile}): gatekeepers evaluate state-free
     conditions with zero-environment, zero-allocation closures, and
     abstract locks compute lock keys the same way.  Verdicts are identical
-    to the interpreter's on every input (differential-tested); the option
-    exists so the two evaluation paths stay individually selectable and
-    benchmarkable.  [Global_lock] and [Stm] never evaluate conditions, so
-    they ignore it.
+    to the interpreter's on every input (differential-tested), and the
+    compiled path is 3.4x faster geomean (BENCH_compile.json), so it is
+    the default; pass [~compiled:false] to select the interpreter
+    explicitly (the cross-executor equivalence matrix runs both ways).
+    [Global_lock] and [Stm] never evaluate conditions, so they ignore
+    it.
 
     Raises [Invalid_argument] when the scheme needs something the [adt]
     record doesn't offer (gatekeeper hooks, an STM tracer connector), when
@@ -113,18 +115,18 @@ let require_hooks name = function
     [Abstract_lock], non-ONLINE-CHECKABLE under [Forward_gk]), or on a
     malformed [Sharded] scheme ([Sharded] applies to gatekeepers and
     abstract locking only, and does not nest). *)
-let protect ?obs ?reduce_scheme ?compiled ~(spec : Spec.t) ~(adt : adt)
-    (s : scheme) : Detector.t =
+let protect ?obs ?reduce_scheme ?(compiled = true) ~(spec : Spec.t)
+    ~(adt : adt) (s : scheme) : Detector.t =
   match s with
   | Global_lock -> Detector.global_lock ?obs ()
-  | Abstract_lock -> Abstract_lock.detector ?reduce_scheme ?compiled ?obs spec
+  | Abstract_lock -> Abstract_lock.detector ?reduce_scheme ~compiled ?obs spec
   | Forward_gk ->
       fst
-        (Gatekeeper.forward ?compiled ?obs
+        (Gatekeeper.forward ~compiled ?obs
            ~hooks:(require_hooks "fwd-gk" adt) spec)
   | General_gk ->
       fst
-        (Gatekeeper.general ?compiled ?obs
+        (Gatekeeper.general ~compiled ?obs
            ~hooks:(require_hooks "gen-gk" adt) spec)
   | Stm -> (
       match adt.connect_tracer with
@@ -139,17 +141,36 @@ let protect ?obs ?reduce_scheme ?compiled ~(spec : Spec.t) ~(adt : adt)
       match base with
       | Forward_gk ->
           fst
-            (Gatekeeper.forward_sharded ~nshards:n ?compiled ?obs
+            (Gatekeeper.forward_sharded ~nshards:n ~compiled ?obs
                ~hooks:(require_hooks "fwd-gk-sharded" adt) spec)
       | General_gk ->
           fst
-            (Gatekeeper.general_sharded ~nshards:n ?compiled ?obs
+            (Gatekeeper.general_sharded ~nshards:n ~compiled ?obs
                ~hooks:(require_hooks "gen-gk-sharded" adt) spec)
       | Abstract_lock ->
-          Abstract_lock.detector ?reduce_scheme ~stripes:n ?compiled ?obs spec
+          Abstract_lock.detector ?reduce_scheme ~stripes:n ~compiled ?obs spec
       | Global_lock | Stm | Sharded _ ->
           invalid_arg
             (Fmt.str "Protect.protect: %s cannot be sharded" (scheme_name base)))
+
+(** Like {!protect} for the gatekeeper schemes, but also hand back the
+    {!Gatekeeper.t} so embedders that manage their own admission (the
+    server's batched read path uses {!Gatekeeper.batch_check}) can reach
+    past the {!Detector.t} facade.  Raises [Invalid_argument] on
+    non-gatekeeper schemes. *)
+let protect_gatekeeper ?obs ?(compiled = true) ~(hooks : Gatekeeper.hooks)
+    ~(spec : Spec.t) (s : scheme) : Detector.t * Gatekeeper.t =
+  match s with
+  | Forward_gk -> Gatekeeper.forward ~compiled ?obs ~hooks spec
+  | General_gk -> Gatekeeper.general ~compiled ?obs ~hooks spec
+  | Sharded (Forward_gk, n) when n > 0 ->
+      Gatekeeper.forward_sharded ~nshards:n ~compiled ?obs ~hooks spec
+  | Sharded (General_gk, n) when n > 0 ->
+      Gatekeeper.general_sharded ~nshards:n ~compiled ?obs ~hooks spec
+  | s ->
+      invalid_arg
+        (Fmt.str "Protect.protect_gatekeeper: %s is not a gatekeeper scheme"
+           (scheme_name s))
 
 (** Every base scheme, in lattice-ish order (coarsest first). *)
 let all_schemes = [ Global_lock; Abstract_lock; Forward_gk; General_gk; Stm ]

@@ -56,13 +56,15 @@ val adt :
     enables/disables the detector's observability registry;
     [?reduce_scheme] is forwarded to {!Abstract_lock.detector}.
 
-    [?compiled] (default [false]) routes conflict checks through the spec
+    [?compiled] (default [true]) routes conflict checks through the spec
     compiler ({!Commlat_core.Compile}): gatekeepers evaluate state-free
     conditions with zero-environment, zero-allocation closures, and
     abstract locks compute lock keys the same way.  Verdicts are identical
     to the interpreter's (differential-tested; see the [compile] bench for
-    the throughput gap).  [Global_lock] and [Stm] never evaluate
-    conditions, so they ignore it.
+    the throughput gap), so compilation is on by default; pass
+    [~compiled:false] to opt out into the interpreter (the cross-executor
+    equivalence matrix exercises both paths).  [Global_lock] and [Stm]
+    never evaluate conditions, so they ignore it.
 
     Raises [Invalid_argument] when the scheme needs something the [adt]
     record doesn't offer, when the spec is outside the scheme's logic
@@ -75,6 +77,20 @@ val protect :
   adt:adt ->
   scheme ->
   Detector.t
+
+(** Like {!protect} restricted to the gatekeeper schemes ([Forward_gk],
+    [General_gk], and their [Sharded] variants), returning the underlying
+    {!Gatekeeper.t} alongside the detector — for embedders that need the
+    gatekeeper's own surface (e.g. {!Gatekeeper.batch_check} on the
+    server's batched read path).  [?compiled] defaults to [true], as in
+    {!protect}.  Raises [Invalid_argument] on non-gatekeeper schemes. *)
+val protect_gatekeeper :
+  ?obs:bool ->
+  ?compiled:bool ->
+  hooks:Gatekeeper.hooks ->
+  spec:Spec.t ->
+  scheme ->
+  Detector.t * Gatekeeper.t
 
 (** Every base scheme, coarsest first. *)
 val all_schemes : scheme list

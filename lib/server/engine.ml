@@ -1,0 +1,328 @@
+(** The server's transactional core: a registry of protected ADTs, one
+    request = one transaction, with commit decoupled from execution so
+    workers can group-commit a whole epoch.
+
+    Each exposed ADT is built through
+    {!Commlat_runtime.Protect.protect_gatekeeper} (spec compilation on by
+    default): kvmap, set and orset sit behind footprint-sharded {e
+    forward} gatekeepers (their precise specs are online-checkable, and —
+    per the scalable-commutativity rule — their commuting requests touch
+    disjoint shards), union-find behind a {e general} gatekeeper (its
+    conditions need state functions and rollback).
+
+    Failure containment (the server-edge contract): {!try_req} turns {e
+    any} per-request failure — unknown ADT or method, wrong arity,
+    [Value.Type_error] from a malformed argument, out-of-range union-find
+    element — into a rolled-back transaction plus an [Err] response frame.
+    Exceptions never escape to the calling worker domain, so a bad request
+    cannot kill a worker or wedge the server's pending-request
+    accounting.  Only {!Detector.Conflict} is surfaced (as {!Conflicted})
+    because the caller owns the retry/flush policy. *)
+
+open Commlat_core
+open Commlat_adts
+open Commlat_runtime
+module Obs = Commlat_obs.Obs
+module Jsonx = Commlat_obs.Jsonx
+
+type exposed = {
+  ename : string;
+  det : Detector.t;
+  gk : Gatekeeper.t;
+  fp : Footprint.t;  (** shard-routing keys, from the same spec *)
+  lookup : string -> Invocation.meth option;
+  exec_inv : Invocation.t -> Value.t;
+  undo_inv : Invocation.t -> unit;
+  batchable : bool;
+      (** forward/striped gatekeeper: {!Gatekeeper.batch_check}'s
+          no-state-reconstruction precondition holds, enabling the
+          read-only fast path *)
+}
+
+type t = {
+  exposed : (string * exposed) list;
+  orset : Orset.t;  (** handle for the leak regression / commuting mix *)
+  obs : Obs.t;
+  c_requests : Obs.counter;
+  c_commits : Obs.counter;
+  c_aborts : Obs.counter;
+  c_errors : Obs.counter;
+  c_ro_fast : Obs.counter;  (** reads admitted by the batch_check path *)
+}
+
+(** A successfully executed request whose transaction is still open,
+    awaiting the epoch's group commit. *)
+type pending = { txn : Txn.t; pdet : Detector.t }
+
+type outcome =
+  | Done of pending option * Wire.resp
+      (** answered; [Some p] must be passed to {!commit} at epoch end *)
+  | Conflicted of string
+      (** rolled back after a {!Detector.Conflict}: flush the epoch's open
+          transactions (they may be the other side) and retry *)
+
+let meth_finder meths =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (m : Invocation.meth) -> Hashtbl.replace tbl m.name m) meths;
+  fun name -> Hashtbl.find_opt tbl name
+
+let default_nshards = 16
+let default_uf_elements = 4096
+
+(** [create ()] builds the four exposed ADTs.  [uf_elements] union-find
+    elements are pre-created so wire clients can [union]/[find] on element
+    ids in [\[0, uf_elements)] without a [create] handshake. *)
+let create ?obs:obs_enabled ?(nshards = default_nshards)
+    ?(uf_elements = default_uf_elements) () : t =
+  let sharded = Protect.Sharded (Protect.Forward_gk, nshards) in
+  let kv = Kvmap.create () in
+  let kv_spec = Kvmap.precise_spec () in
+  let kv_det, kv_gk =
+    Protect.protect_gatekeeper ?obs:obs_enabled ~hooks:(Kvmap.hooks kv)
+      ~spec:kv_spec sharded
+  in
+  let set = Iset.create () in
+  let set_spec = Iset.precise_spec () in
+  let set_det, set_gk =
+    Protect.protect_gatekeeper ?obs:obs_enabled ~hooks:(Iset.hooks set)
+      ~spec:set_spec sharded
+  in
+  let ors = Orset.create () in
+  let ors_spec = Orset.spec () in
+  let ors_det, ors_gk =
+    Protect.protect_gatekeeper ?obs:obs_enabled ~hooks:(Orset.hooks ors)
+      ~spec:ors_spec sharded
+  in
+  let uf = Union_find.create ~capacity:uf_elements () in
+  ignore (Union_find.create_elements uf uf_elements);
+  let uf_spec = Union_find.spec () in
+  let uf_det, uf_gk =
+    Protect.protect_gatekeeper ?obs:obs_enabled ~hooks:(Union_find.hooks uf)
+      ~spec:uf_spec Protect.General_gk
+  in
+  let obs = Obs.create ?enabled:obs_enabled "serve" in
+  {
+    exposed =
+      [
+        ( "kvmap",
+          {
+            ename = "kvmap";
+            det = kv_det;
+            gk = kv_gk;
+            fp = Footprint.analyze kv_spec;
+            lookup = meth_finder Kvmap.methods;
+            exec_inv =
+              (fun inv ->
+                Kvmap.exec kv inv.Invocation.meth.name inv.Invocation.args);
+            undo_inv = Kvmap.undo kv;
+            batchable = true;
+          } );
+        ( "set",
+          {
+            ename = "set";
+            det = set_det;
+            gk = set_gk;
+            fp = Footprint.analyze set_spec;
+            lookup = meth_finder Iset.methods;
+            exec_inv =
+              (fun inv ->
+                Iset.exec set inv.Invocation.meth.name inv.Invocation.args);
+            undo_inv = Iset.undo set;
+            batchable = true;
+          } );
+        ( "orset",
+          {
+            ename = "orset";
+            det = ors_det;
+            gk = ors_gk;
+            fp = Footprint.analyze ors_spec;
+            lookup = meth_finder Orset.methods;
+            exec_inv = Orset.exec_logged ors;
+            undo_inv = Orset.undo ors;
+            batchable = true;
+          } );
+        ( "union-find",
+          {
+            ename = "union-find";
+            det = uf_det;
+            gk = uf_gk;
+            fp = Footprint.analyze uf_spec;
+            lookup = meth_finder Union_find.methods;
+            exec_inv = Union_find.exec_logged uf;
+            undo_inv = Union_find.undo uf;
+            batchable = false;  (* general gk: conditions reconstruct state *)
+          } );
+      ];
+    orset = ors;
+    obs;
+    c_requests = Obs.counter obs "requests";
+    c_commits = Obs.counter obs "commits";
+    c_aborts = Obs.counter obs "conflict_aborts";
+    c_errors = Obs.counter obs "request_errors";
+    c_ro_fast = Obs.counter obs "ro_fast_path";
+  }
+
+let exposed_names t = List.map fst t.exposed
+let orset_handle t = t.orset
+
+(* Roll a doomed request's transaction back and release its detector state
+   as one atomic step (same protocol as the domain executor). *)
+let abort_atomically (p : pending) =
+  Guard.protect_all
+    (Txn.guards p.txn @ p.pdet.Detector.guards)
+    (fun () ->
+      Txn.rollback p.txn;
+      p.pdet.Detector.on_abort (Txn.id p.txn))
+
+(** Commit one epoch-open transaction: detector first (releases locks and
+    active-table entries — for the orset this is where the [forget] hook
+    drops its presence-log entries), then the transaction's own log. *)
+let commit (t : t) (p : pending) =
+  p.pdet.Detector.on_commit (Txn.id p.txn);
+  Txn.commit p.txn;
+  Obs.incr t.c_commits
+
+let err t id fmt =
+  Fmt.kstr
+    (fun m ->
+      Obs.incr t.c_errors;
+      Done (None, Wire.Err (id, m)))
+    fmt
+
+(* Read-only admission without a transaction: execute the (abstractly and
+   concretely effect-free) method under the gatekeeper's guards, then run
+   the single-pass {!Gatekeeper.batch_check} scan against every active
+   invocation.  If the scan passes, the read linearizes right here and is
+   already durable — no entry insertion, no lock table traffic, no commit
+   work at the epoch boundary.  Sound because a committed invocation need
+   not stay visible to later admission checks, and the whole step happens
+   under the same guards the invoke path takes. *)
+let try_ro_fast (t : t) (ex : exposed) ~id (meth : Invocation.meth) args =
+  Guard.protect_all ex.det.Detector.guards (fun () ->
+      let txn = Txn.fresh () in
+      let inv = Invocation.make ~txn:(Txn.id txn) meth args in
+      let r = ex.exec_inv inv in
+      inv.Invocation.ret <- r;
+      match Gatekeeper.batch_check ex.gk inv with
+      | () ->
+          Obs.incr t.c_ro_fast;
+          Some (Done (None, Wire.Reply (id, r)))
+      | exception Detector.Conflict _ ->
+          (* nothing to undo (the method is effect-free); fall back to the
+             transactional path, which will queue behind the conflicter *)
+          None)
+
+let try_invoke (t : t) ~id adt meth args : outcome =
+  match List.assoc_opt adt t.exposed with
+  | None -> err t id "unknown adt %S (have: %s)" adt
+               (String.concat ", " (exposed_names t))
+  | Some ex -> (
+      match ex.lookup meth with
+      | None -> err t id "%s: unknown method %S" adt meth
+      | Some m when m.Invocation.arity <> Array.length args ->
+          err t id "%s.%s: arity %d, got %d arguments" adt meth
+            m.Invocation.arity (Array.length args)
+      | Some m -> (
+          let ro = (not m.Invocation.mutates) && not m.Invocation.concrete in
+          match
+            if ro && ex.batchable then try_ro_fast t ex ~id m args else None
+          with
+          | Some outcome -> outcome
+          | None -> (
+              let txn = Txn.fresh () in
+              let p = { txn; pdet = ex.det } in
+              match
+                if ro then
+                  Boost.invoke_ro ex.det txn m args ex.exec_inv
+                else Boost.invoke ex.det txn ~undo:ex.undo_inv m args ex.exec_inv
+              with
+              | r -> Done (Some p, Wire.Reply (id, r))
+              | exception Detector.Conflict { reason; _ } ->
+                  abort_atomically p;
+                  Obs.incr t.c_aborts;
+                  Conflicted reason
+              | exception e ->
+                  (* the server-edge contract: malformed arguments (a
+                     [Value.Type_error], an out-of-bounds index, an
+                     [Unsupported] state function) doom this transaction
+                     only — roll it back and answer with an error frame *)
+                  abort_atomically p;
+                  err t id "%s.%s: %s" adt meth (Printexc.to_string e))))
+
+(** One merged snapshot: the engine's own counters plus every exposed
+    detector's registry. *)
+let snapshot_json_string (t : t) : string =
+  let snaps =
+    Obs.snapshot t.obs
+    :: List.map (fun (_, ex) -> ex.det.Detector.snapshot ()) t.exposed
+  in
+  Jsonx.to_string (Obs.snapshot_to_json (Obs.merge "serve" snaps))
+
+(** Handle one request; never raises except {!Detector.Conflict} mapped to
+    {!Conflicted}.  [Quit] is answered like [Ping] — connection/shutdown
+    policy belongs to the caller. *)
+let try_req (t : t) (req : Wire.req) : outcome =
+  Obs.incr t.c_requests;
+  match req with
+  | Wire.Invoke { id; adt; meth; args } -> try_invoke t ~id adt meth args
+  | Wire.Stats id ->
+      Done (None, Wire.Reply (id, Value.Str (snapshot_json_string t)))
+  | Wire.Ping id | Wire.Quit id -> Done (None, Wire.Reply (id, Value.Unit))
+
+(** Synchronous request execution with immediate commit and bounded
+    conflict retry — the single-threaded in-process conformance path (the
+    wire tests speak to this, no sockets involved). *)
+let handle ?(max_retries = 16) (t : t) (req : Wire.req) : Wire.resp =
+  let rec go attempts =
+    match try_req t req with
+    | Done (p, resp) ->
+        Option.iter (commit t) p;
+        resp
+    | Conflicted reason ->
+        if attempts >= max_retries then
+          Wire.Err (Wire.req_id req, "conflict retries exhausted: " ^ reason)
+        else go (attempts + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Shard routing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Worker-routing hash of a request, derived from the same equality
+    footprint that drives detector sharding: requests whose footprint keys
+    differ commute (that is the footprint guarantee), so hashing the key
+    sends conflicting requests to the {e same} worker — where they
+    serialize on the queue instead of aborting each other — and spreads
+    commuting ones across cores.  Keyless methods (and non-invoke
+    requests) return [None]; the caller round-robins those. *)
+let route_hash (t : t) (req : Wire.req) : int option =
+  match req with
+  | Wire.Stats _ | Wire.Quit _ | Wire.Ping _ -> None
+  | Wire.Invoke { adt; meth; args; _ } -> (
+      match List.assoc_opt adt t.exposed with
+      | None -> None
+      | Some ex -> (
+          match ex.lookup meth with
+          | Some m when m.Invocation.arity = Array.length args -> (
+              (* throwaway record: routing must not burn invocation uids *)
+              let dummy =
+                {
+                  Invocation.uid = 0;
+                  meth = m;
+                  args;
+                  ret = Value.Unit;
+                  txn = 0;
+                  seq = 0;
+                }
+              in
+              match Footprint.key_value ex.fp dummy with
+              | Some v -> Some (Value.hash v)
+              | None ->
+                  (* keyless method but keyed-looking argument (union-find's
+                     state-dependent spec defeats the footprint analysis):
+                     route by first argument for locality, still sound —
+                     routing never decides admission *)
+                  if Array.length args > 0 then Some (Value.hash args.(0))
+                  else None)
+          | _ -> None))

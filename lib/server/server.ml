@@ -1,0 +1,325 @@
+(** The long-running `commlat serve` process: socket front-end, per-core
+    worker domains, epoch-based group commit.
+
+    Threading model (DESIGN.md §11):
+
+    - One {e reader systhread per connection} decodes frames and routes
+      each invoke request to a worker queue by its footprint hash
+      ({!Engine.route_hash}); keyless requests round-robin.  Readers never
+      touch a detector — {!Commlat_core.Guard} ownership is per-{e domain},
+      so all transactional work happens on worker domains.
+    - [domains] {e worker domains} each drain their queue in epochs of up
+      to [batch] requests.  Within an epoch every admitted request's
+      transaction stays open; at the epoch boundary the worker commits
+      them all (one detector pass each, releasing active-table entries
+      and firing commit-time [forget] hooks) and then flushes each
+      connection's responses as one buffered write.  Group commit
+      amortizes commit work and response syscalls across the batch.
+    - A {!Detector.Conflict} inside an epoch first flushes the epoch's
+      open transactions (the conflicter is usually among them), then
+      retries with capped exponential backoff; after [max_retries] the
+      client gets an [Err] frame.  Every other per-request exception is
+      already contained by {!Engine.try_req}.
+
+    Termination: a [Quit] request stops the accept loop, lets every
+    worker drain its queue ([pending] outstanding-request counter must
+    reach zero), joins the worker domains and returns — the CLI then
+    exits 0.  Malformed frames answer an [Err] and keep the connection;
+    unrecoverable framing (oversized prefix, mid-frame EOF) closes just
+    that connection.  Both leave [pending] balanced, so a bad client can
+    neither kill a worker nor wedge shutdown. *)
+
+module Obs = Commlat_obs.Obs
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let pp_addr ppf = function
+  | Unix_sock p -> Fmt.pf ppf "unix:%s" p
+  | Tcp (h, p) -> Fmt.pf ppf "tcp:%s:%d" h p
+
+type config = {
+  addr : addr;
+  domains : int;  (** worker domains (transaction executors) *)
+  batch : int;  (** max requests drained per epoch *)
+  max_retries : int;  (** conflict retries before an [Err] reply *)
+  nshards : int;  (** detector shards per exposed ADT *)
+  verbose : bool;
+}
+
+let default_config =
+  {
+    addr = Unix_sock "/tmp/commlat.sock";
+    domains = 2;
+    batch = 64;
+    max_retries = 64;
+    nshards = Engine.default_nshards;
+    verbose = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Plumbing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  out_mu : Mutex.t;  (** serializes writes from workers and the reader *)
+  mutable alive : bool;
+}
+
+let send_resp conn resp =
+  Mutex.protect conn.out_mu (fun () ->
+      if conn.alive then
+        try Wire.write_frame conn.fd (Wire.encode_resp resp)
+        with _ -> conn.alive <- false)
+
+type job = { req : Wire.req; jconn : conn }
+
+(* One blocking multi-producer queue per worker domain. *)
+type queue = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  q : job Queue.t;
+}
+
+let queue_create () = { mu = Mutex.create (); cv = Condition.create (); q = Queue.create () }
+
+let queue_push qu j =
+  Mutex.protect qu.mu (fun () ->
+      Queue.push j qu.q;
+      Condition.signal qu.cv)
+
+(* Pop up to [n] jobs; blocks while empty unless [stop] is set.  Returns
+   [] only when stopping and empty. *)
+let queue_drain qu ~stop n =
+  Mutex.protect qu.mu (fun () ->
+      while Queue.is_empty qu.q && not (Atomic.get stop) do
+        Condition.wait qu.cv qu.mu
+      done;
+      let rec take k acc =
+        if k = 0 || Queue.is_empty qu.q then List.rev acc
+        else take (k - 1) (Queue.pop qu.q :: acc)
+      in
+      take n [])
+
+let wake_all qu = Mutex.protect qu.mu (fun () -> Condition.broadcast qu.cv)
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Epoch state: open transactions + per-connection response outboxes. *)
+type epoch = {
+  mutable open_txns : Engine.pending list;  (* newest first *)
+  outboxes : (conn * Buffer.t) list ref;
+}
+
+let epoch_create () = { open_txns = []; outboxes = ref [] }
+
+let outbox ep conn =
+  match List.assq_opt conn !(ep.outboxes) with
+  | Some b -> b
+  | None ->
+      let b = Buffer.create 256 in
+      ep.outboxes := (conn, b) :: !(ep.outboxes);
+      b
+
+let stage ep conn resp =
+  let payload = Wire.encode_resp resp in
+  let b = outbox ep conn in
+  (* frame = length prefix + payload, accumulated for one write *)
+  Buffer.add_uint8 b ((String.length payload lsr 24) land 0xff);
+  Buffer.add_uint8 b ((String.length payload lsr 16) land 0xff);
+  Buffer.add_uint8 b ((String.length payload lsr 8) land 0xff);
+  Buffer.add_uint8 b (String.length payload land 0xff);
+  Buffer.add_string b payload
+
+(* Group commit + response flush: the epoch boundary. *)
+let flush_epoch eng ep =
+  List.iter (Engine.commit eng) (List.rev ep.open_txns);
+  ep.open_txns <- [];
+  List.iter
+    (fun (conn, b) ->
+      if Buffer.length b > 0 then begin
+        let s = Buffer.contents b in
+        Buffer.clear b;
+        Mutex.protect conn.out_mu (fun () ->
+            if conn.alive then
+              try
+                Wire.really_write conn.fd (Bytes.unsafe_of_string s) 0
+                  (String.length s)
+              with _ -> conn.alive <- false)
+      end)
+    !(ep.outboxes);
+  ep.outboxes := []
+
+let backoff_sleep attempt =
+  if attempt > 4 then begin
+    let exp = min (attempt - 4) 8 in
+    Unix.sleepf (1e-6 *. float_of_int (1 lsl exp))
+  end
+
+let worker ~eng ~qu ~stop ~pending ~max_retries ~batch () =
+  let ep = epoch_create () in
+  let run_job job =
+    let rec attempt n =
+      match Engine.try_req eng job.req with
+      | Engine.Done (p, resp) ->
+          (match p with
+          | Some p -> ep.open_txns <- p :: ep.open_txns
+          | None -> ());
+          stage ep job.jconn resp
+      | Engine.Conflicted reason ->
+          (* our own open transactions may be the conflicter: close the
+             epoch before retrying so the retry runs against a clean
+             active table *)
+          flush_epoch eng ep;
+          if n >= max_retries then
+            stage ep job.jconn
+              (Wire.Err (Wire.req_id job.req, "conflict retries exhausted: " ^ reason))
+          else begin
+            backoff_sleep n;
+            attempt (n + 1)
+          end
+    in
+    (match attempt 0 with
+    | () -> ()
+    | exception e ->
+        (* belt-and-braces: Engine.try_req contains per-request failures,
+           but if anything else ever escapes, answer and keep the worker
+           (and the pending counter) alive *)
+        stage ep job.jconn
+          (Wire.Err (Wire.req_id job.req, "internal error: " ^ Printexc.to_string e)));
+    ignore (Atomic.fetch_and_add pending (-1))
+  in
+  let rec loop () =
+    match queue_drain qu ~stop batch with
+    | [] -> flush_epoch eng ep (* stopping and drained: exit *)
+    | jobs ->
+        List.iter run_job jobs;
+        flush_epoch eng ep;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection readers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let reader ~eng ~queues ~rr ~stop ~pending conn () =
+  let nworkers = Array.length queues in
+  let route job =
+    let w =
+      match Engine.route_hash eng job.req with
+      | Some h -> (h land max_int) mod nworkers
+      | None -> (Atomic.fetch_and_add rr 1) mod nworkers
+    in
+    ignore (Atomic.fetch_and_add pending 1);
+    queue_push queues.(w) job
+  in
+  let rec loop () =
+    match Wire.read_frame conn.fd with
+    | None -> () (* clean EOF *)
+    | exception Wire.Malformed _ | exception Unix.Unix_error _ ->
+        () (* framing broken: drop the connection *)
+    | Some payload -> (
+        match Wire.decode_req payload with
+        | exception Wire.Malformed msg ->
+            (* the frame boundary survived, so answer and keep reading *)
+            send_resp conn (Wire.Err (0, msg));
+            loop ()
+        | Wire.Quit id ->
+            send_resp conn (Wire.Reply (id, Commlat_core.Value.Unit));
+            Atomic.set stop true;
+            Array.iter wake_all queues
+        | Wire.Stats _ | Wire.Ping _ as req ->
+            (* answered inline: no transaction, no detector guard *)
+            (match Engine.try_req eng req with
+            | Engine.Done (None, resp) -> send_resp conn resp
+            | _ -> assert false);
+            loop ()
+        | req ->
+            route { req; jconn = conn };
+            loop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect conn.out_mu (fun () -> conn.alive <- false);
+      try Unix.close conn.fd with _ -> ())
+    loop
+
+(* ------------------------------------------------------------------ *)
+(* Listener                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let listen_socket addr =
+  match addr with
+  | Unix_sock path ->
+      (try Unix.unlink path with _ -> ());
+      let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind s (Unix.ADDR_UNIX path);
+      Unix.listen s 128;
+      s
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      Unix.bind s (Unix.ADDR_INET (ip, port));
+      Unix.listen s 128;
+      s
+
+(** Run the server until a [Quit] request arrives; returns the engine (so
+    callers can inspect final counters).  Blocking. *)
+let run (cfg : config) : Engine.t =
+  if cfg.domains < 1 then invalid_arg "Server.run: domains must be >= 1";
+  let eng = Engine.create ~nshards:cfg.nshards () in
+  let stop = Atomic.make false in
+  let pending = Atomic.make 0 in
+  let rr = Atomic.make 0 in
+  let queues = Array.init cfg.domains (fun _ -> queue_create ()) in
+  let workers =
+    Array.mapi
+      (fun _i qu ->
+        Domain.spawn
+          (worker ~eng ~qu ~stop ~pending ~max_retries:cfg.max_retries
+             ~batch:cfg.batch))
+      queues
+  in
+  let lsock = listen_socket cfg.addr in
+  if cfg.verbose then
+    Fmt.pr "commlat serve: listening on %a (%d domains, batch %d)@."
+      pp_addr cfg.addr cfg.domains cfg.batch;
+  (* accept with a timeout so the loop observes [stop] *)
+  while not (Atomic.get stop) do
+    match Unix.select [ lsock ] [] [] 0.1 with
+    | [ _ ], _, _ -> (
+        match Unix.accept lsock with
+        | fd, _ ->
+            let conn = { fd; out_mu = Mutex.create (); alive = true } in
+            ignore
+              (Thread.create (reader ~eng ~queues ~rr ~stop ~pending conn) ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | _ -> ()
+  done;
+  (* drain: workers exit once their queues are empty and [stop] is set *)
+  Array.iter wake_all queues;
+  Array.iter Domain.join workers;
+  (* a reader racing [Quit] may have enqueued after its worker exited:
+     answer those with an error so the pending counter still balances *)
+  Array.iter
+    (fun qu ->
+      Mutex.protect qu.mu (fun () ->
+          while not (Queue.is_empty qu.q) do
+            let j = Queue.pop qu.q in
+            send_resp j.jconn (Wire.Err (Wire.req_id j.req, "server shutting down"));
+            ignore (Atomic.fetch_and_add pending (-1))
+          done))
+    queues;
+  (try Unix.close lsock with _ -> ());
+  (match cfg.addr with
+  | Unix_sock p -> ( try Unix.unlink p with _ -> ())
+  | Tcp _ -> ());
+  if cfg.verbose then Fmt.pr "commlat serve: drained, shutting down@.";
+  eng

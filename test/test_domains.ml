@@ -219,21 +219,23 @@ let set_detectors : (string * (Iset.t -> Detector.t)) list =
       fun _ ->
         Protect.protect ~spec:(Iset.simple_spec ()) ~adt:(Protect.adt ())
           (Protect.Sharded (Protect.Abstract_lock, 8)) );
-    (* compiled-condition variants must be conflict-for-conflict identical
-       to their interpreted counterparts (the spec compiler's contract) *)
-    ( "fwd-gk-compiled",
+    (* [Protect.protect] compiles conditions by default; the explicit
+       [~compiled:false] interpreter variants must be
+       conflict-for-conflict identical (the spec compiler's contract),
+       so the matrix keeps running both evaluation paths *)
+    ( "fwd-gk-interp",
       fun set ->
-        Protect.protect ~compiled:true ~spec:(Iset.precise_spec ())
+        Protect.protect ~compiled:false ~spec:(Iset.precise_spec ())
           ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
           Protect.Forward_gk );
-    ( "fwd-gk-sharded-compiled",
+    ( "fwd-gk-sharded-interp",
       fun set ->
-        Protect.protect ~compiled:true ~spec:(Iset.precise_spec ())
+        Protect.protect ~compiled:false ~spec:(Iset.precise_spec ())
           ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
           (Protect.Sharded (Protect.Forward_gk, 8)) );
-    ( "abslock-rw-striped-compiled",
+    ( "abslock-rw-striped-interp",
       fun _ ->
-        Protect.protect ~compiled:true ~spec:(Iset.simple_spec ())
+        Protect.protect ~compiled:false ~spec:(Iset.simple_spec ())
           ~adt:(Protect.adt ())
           (Protect.Sharded (Protect.Abstract_lock, 8)) );
   ]
@@ -445,6 +447,94 @@ let test_stress_retries_and_stealing () =
      the whole run); only their accounting is checked, not their count *)
   check_bool "abort count non-negative" true (s.Executor.aborted >= 0)
 
+(* ------------------------------------------------------------- *)
+(* Orset presence-log regressions (per-instance undo log)         *)
+(* ------------------------------------------------------------- *)
+
+(* Two instances, one invocation uid: the old module-global log let
+   instance B's pre-state clobber instance A's entry, so A's undo
+   restored the wrong state.  Per-instance logs keep them independent,
+   and an undo on an instance that never executed the invocation is a
+   no-op. *)
+let test_orset_two_instances_colliding_uid () =
+  let a = Orset.create () and b = Orset.create () in
+  let e = Value.Str "x" and i = Value.Int 1 in
+  Orset.add a e i;
+  (* pair present in A, absent in B *)
+  let inv = Invocation.make ~txn:1 Orset.m_add [| e; i |] in
+  ignore (Orset.exec_logged a inv);
+  (* same uid, same args, different instance — the collision *)
+  ignore (Orset.exec_logged b inv);
+  Orset.undo b inv;
+  check_bool "B's undo removes its own speculative add" false (Orset.mem b e i);
+  Orset.undo a inv;
+  check_bool "A's undo sees A's pre-state (present), not B's" true
+    (Orset.mem a e i);
+  check_int "both logs drained by undo" 0 (Orset.log_size a + Orset.log_size b);
+  (* undoing an invocation that never executed on this instance: no-op *)
+  let ghost = Invocation.make ~txn:2 Orset.m_add [| e; i |] in
+  Orset.undo a ghost;
+  check_bool "ghost undo does not corrupt state" true (Orset.mem a e i)
+
+(* Commit must drop presence-log entries too (the gatekeeper's forget
+   hook), not just undo: a long-running server would otherwise leak one
+   entry per committed add/remove forever.  Checked single-threaded on
+   both the coarse and the striped forward gatekeeper... *)
+let test_orset_log_forgotten_on_commit () =
+  List.iter
+    (fun scheme ->
+      let os = Orset.create () in
+      let det =
+        Protect.protect ~spec:(Orset.spec ())
+          ~adt:(Protect.adt ~hooks:(Orset.hooks os) ())
+          scheme
+      in
+      for i = 0 to 49 do
+        let txn = Txn.fresh () in
+        ignore
+          (Boost.invoke det txn ~undo:(Orset.undo os) Orset.m_add
+             [| Value.Int (i mod 5); Value.Int i |]
+             (fun inv -> Orset.exec_logged os inv));
+        det.Detector.on_commit (Txn.id txn);
+        Txn.commit txn
+      done;
+      check_int
+        (Fmt.str "log empty after 50 commits (%s)" det.Detector.name)
+        0 (Orset.log_size os))
+    [ Protect.Forward_gk; Protect.Sharded (Protect.Forward_gk, 8) ]
+
+(* ... and under real parallelism: a run_domains stress over both orset
+   methods must quiesce with an empty log at every domain count. *)
+let test_orset_log_leak_free_under_domains () =
+  List.iter
+    (fun d ->
+      let os = Orset.create () in
+      let det =
+        Protect.protect ~spec:(Orset.spec ())
+          ~adt:(Protect.adt ~hooks:(Orset.hooks os) ())
+          (Protect.Sharded (Protect.Forward_gk, 8))
+      in
+      let items = List.init 400 (fun i -> i) in
+      let operator _det txn i =
+        let e = Value.Int (i mod 13) and tag = Value.Int i in
+        ignore
+          (Boost.invoke det txn ~undo:(Orset.undo os) Orset.m_add [| e; tag |]
+             (fun inv -> Orset.exec_logged os inv));
+        if i mod 3 = 0 then
+          ignore
+            (Boost.invoke det txn ~undo:(Orset.undo os) Orset.m_remove
+               [| e; tag |] (fun inv -> Orset.exec_logged os inv));
+        []
+      in
+      let s = Executor.run_domains ~domains:d ~detector:det ~operator items in
+      check_int
+        (Fmt.str "all items committed @ %d domains" d)
+        (List.length items) s.Executor.committed;
+      check_int
+        (Fmt.str "presence log drained after quiesce @ %d domains" d)
+        0 (Orset.log_size os))
+    [ 1; 2; 8 ]
+
 let suite =
   [
     Alcotest.test_case "guard: reentrant" `Quick test_guard_reentrant;
@@ -468,4 +558,10 @@ let suite =
     Alcotest.test_case "equivalence: stm" `Slow test_stm_equivalence;
     Alcotest.test_case "stress: retries, stealing, termination" `Slow
       test_stress_retries_and_stealing;
+    Alcotest.test_case "orset: per-instance logs survive colliding uids" `Quick
+      test_orset_two_instances_colliding_uid;
+    Alcotest.test_case "orset: commit forgets log entries" `Quick
+      test_orset_log_forgotten_on_commit;
+    Alcotest.test_case "orset: leak-free under run_domains x {1,2,8}" `Slow
+      test_orset_log_leak_free_under_domains;
   ]

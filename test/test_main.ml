@@ -28,4 +28,5 @@ let () =
       ("obs", Test_obs.suite);
       ("sched", Test_sched.suite);
       ("synth", Test_synth.suite);
+      ("server", Test_server.suite);
     ]

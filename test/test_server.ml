@@ -1,0 +1,343 @@
+(* Wire-protocol codec properties and the in-process client/server
+   conformance suite: everything here runs single-threaded and
+   socket-free (pipes only, for the framing-cap tests), so tier-1 stays
+   deterministic.  The socket path proper is exercised by the CI serve
+   job. *)
+
+open Commlat_core
+module Wire = Commlat_server.Wire
+module Engine = Commlat_server.Engine
+module Histo = Commlat_obs.Histo
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------- *)
+(* Generators                                                     *)
+(* ------------------------------------------------------------- *)
+
+let value_gen : Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Value.Unit;
+            map (fun b -> Value.Bool b) bool;
+            map (fun i -> Value.Int i) int;
+            (* decode(encode f) preserves the bit pattern, so nan is fair
+               game; avoid it anyway to keep Value.equal-based checks
+               simple and compare representations instead *)
+            map (fun f -> Value.Float f) (float_bound_inclusive 1e12);
+            map (fun s -> Value.Str s) (string_size (0 -- 40));
+            map
+              (fun l -> Value.Point (Array.of_list l))
+              (list_size (0 -- 4) (float_bound_inclusive 1e6));
+          ]
+      in
+      if n <= 1 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map2 (fun a b -> Value.Pair (a, b)) (self (n / 2)) (self (n / 2));
+            map (fun o -> Value.Opt o) (option (self (n / 2)));
+            map (fun l -> Value.List l) (list_size (0 -- 4) (self (n / 3)));
+          ])
+
+let name_gen = QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (1 -- 12))
+
+let req_gen : Wire.req QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let id = 0 -- 1_000_000 in
+  oneof
+    [
+      (let* id = id and* adt = name_gen and* meth = name_gen
+       and* args = list_size (0 -- 5) value_gen in
+       return (Wire.Invoke { id; adt; meth; args = Array.of_list args }));
+      map (fun id -> Wire.Stats id) id;
+      map (fun id -> Wire.Quit id) id;
+      map (fun id -> Wire.Ping id) id;
+    ]
+
+let resp_gen : Wire.resp QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* id = 0 -- 1_000_000 and* v = value_gen in
+       return (Wire.Reply (id, v)));
+      (let* id = 0 -- 1_000_000 and* m = string_size (0 -- 60) in
+       return (Wire.Err (id, m)));
+    ]
+
+(* Structural equality via the canonical printers (dodges nan <> nan
+   while still catching any bit-level float corruption). *)
+let req_repr (r : Wire.req) =
+  match r with
+  | Wire.Invoke { id; adt; meth; args } ->
+      Fmt.str "invoke %d %s %s [%a]" id adt meth
+        Fmt.(array ~sep:semi Value.pp)
+        args
+  | Wire.Stats id -> Fmt.str "stats %d" id
+  | Wire.Quit id -> Fmt.str "quit %d" id
+  | Wire.Ping id -> Fmt.str "ping %d" id
+
+let resp_repr (r : Wire.resp) =
+  match r with
+  | Wire.Reply (id, v) -> Fmt.str "reply %d %a" id Value.pp v
+  | Wire.Err (id, m) -> Fmt.str "err %d %s" id m
+
+(* ------------------------------------------------------------- *)
+(* Codec properties                                               *)
+(* ------------------------------------------------------------- *)
+
+let prop_req_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"wire: request encode/decode round-trip"
+    req_gen (fun r -> req_repr (Wire.decode_req (Wire.encode_req r)) = req_repr r)
+
+let prop_resp_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"wire: response encode/decode round-trip"
+    resp_gen (fun r ->
+      resp_repr (Wire.decode_resp (Wire.encode_resp r)) = resp_repr r)
+
+let prop_truncated_rejected =
+  QCheck2.Test.make ~count:300
+    ~name:"wire: every strict prefix of a request is Malformed" req_gen
+    (fun r ->
+      let s = Wire.encode_req r in
+      let ok = ref true in
+      for n = 0 to String.length s - 1 do
+        match Wire.decode_req (String.sub s 0 n) with
+        | _ -> ok := false
+        | exception Wire.Malformed _ -> ()
+      done;
+      !ok)
+
+let prop_trailing_rejected =
+  QCheck2.Test.make ~count:300
+    ~name:"wire: trailing bytes after a request are Malformed" req_gen
+    (fun r ->
+      match Wire.decode_req (Wire.encode_req r ^ "\x00") with
+      | _ -> false
+      | exception Wire.Malformed _ -> true)
+
+let test_codec_malformed_tags () =
+  let m s = match Wire.decode_req s with
+    | _ -> false
+    | exception Wire.Malformed _ -> true
+  in
+  check_bool "empty payload" true (m "");
+  check_bool "unknown request tag" true (m "\x2a");
+  check_bool "bad bool byte" true
+    (match Wire.decode_resp "\x01\x00\x00\x00\x00\x00\x00\x00\x07\x01\x05" with
+    | _ -> false
+    | exception Wire.Malformed _ -> true);
+  (* a tiny frame declaring a billion-element list must die on the
+     cheap length check, not after allocating *)
+  let b = Buffer.create 16 in
+  Buffer.add_string b "\x01";
+  Buffer.add_string b (String.make 8 '\x00') (* id *);
+  Buffer.add_string b "\x01k" (* adt "k" *);
+  Buffer.add_string b "\x01g" (* meth "g" *);
+  Buffer.add_string b "\x01" (* argc 1 *);
+  Buffer.add_string b "\x08\x3b\x9a\xca\x00" (* List of 1e9 *);
+  check_bool "huge list length" true (m (Buffer.contents b))
+
+(* Framing over a pipe: the length prefix is bounds-checked before any
+   allocation, and a clean EOF at a frame boundary is [None]. *)
+let test_framing_pipe () =
+  let r, w = Unix.pipe () in
+  let payload = Wire.encode_req (Wire.Ping 7) in
+  Wire.write_frame w payload;
+  (match Wire.read_frame r with
+  | Some p -> check_str "payload round-trips the pipe" payload p
+  | None -> Alcotest.fail "expected a frame");
+  (* oversized declared length *)
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Wire.max_frame + 1));
+  ignore (Unix.write w hdr 0 4);
+  (match Wire.read_frame r with
+  | _ -> Alcotest.fail "oversized length prefix must be Malformed"
+  | exception Wire.Malformed _ -> ());
+  (* mid-frame EOF *)
+  Bytes.set_int32_be hdr 0 100l;
+  ignore (Unix.write w hdr 0 4);
+  ignore (Unix.write_substring w "abc" 0 3);
+  Unix.close w;
+  (match Wire.read_frame r with
+  | _ -> Alcotest.fail "mid-frame EOF must be Malformed"
+  | exception Wire.Malformed _ -> ());
+  Unix.close r;
+  (* writer-side cap *)
+  match Wire.write_frame Unix.stderr (String.make (Wire.max_frame + 1) 'x') with
+  | _ -> Alcotest.fail "oversized write_frame must be Malformed"
+  | exception Wire.Malformed _ -> ()
+
+(* ------------------------------------------------------------- *)
+(* In-process conformance: one engine, synchronous handle          *)
+(* ------------------------------------------------------------- *)
+
+let invoke ?(id = 0) adt meth args = Wire.Invoke { id; adt; meth; args }
+
+let expect_reply what resp =
+  match resp with
+  | Wire.Reply (_, v) -> v
+  | Wire.Err (_, m) -> Alcotest.failf "%s: unexpected error %S" what m
+
+let expect_err what resp =
+  match resp with
+  | Wire.Err (_, m) -> m
+  | Wire.Reply (_, v) ->
+      Alcotest.failf "%s: expected an error frame, got %a" what Value.pp v
+
+let test_conformance () =
+  let eng = Engine.create ~obs:true ~uf_elements:16 () in
+  let h req = Engine.handle eng req in
+  (* kvmap *)
+  check_bool "put fresh returns None" true
+    (expect_reply "put" (h (invoke "kvmap" "put" [| Value.Int 1; Value.Str "a" |]))
+    = Value.Opt None);
+  check_bool "get sees the put" true
+    (expect_reply "get" (h (invoke "kvmap" "get" [| Value.Int 1 |]))
+    = Value.Opt (Some (Value.Str "a")));
+  check_bool "size counts" true
+    (expect_reply "size" (h (invoke "kvmap" "size" [||])) = Value.Int 1);
+  check_bool "remove returns the binding" true
+    (expect_reply "remove" (h (invoke "kvmap" "remove" [| Value.Int 1 |]))
+    = Value.Opt (Some (Value.Str "a")));
+  (* set *)
+  check_bool "set add" true
+    (expect_reply "add" (h (invoke "set" "add" [| Value.Int 5 |])) = Value.Bool true);
+  check_bool "set contains" true
+    (expect_reply "contains" (h (invoke "set" "contains" [| Value.Int 5 |]))
+    = Value.Bool true);
+  (* orset *)
+  check_bool "orset add" true
+    (expect_reply "orset add"
+       (h (invoke "orset" "add" [| Value.Str "x"; Value.Int 1 |]))
+    = Value.Unit);
+  (* union-find on the pre-created elements *)
+  check_bool "union" true
+    (expect_reply "union" (h (invoke "union-find" "union" [| Value.Int 0; Value.Int 1 |]))
+    = Value.Bool true);
+  let r0 = expect_reply "find 0" (h (invoke "union-find" "find" [| Value.Int 0 |])) in
+  let r1 = expect_reply "find 1" (h (invoke "union-find" "find" [| Value.Int 1 |])) in
+  check_bool "united elements share a rep" true (Value.equal r0 r1);
+  (* control plane *)
+  check_bool "ping" true
+    (expect_reply "ping" (h (Wire.Ping 3)) = Value.Unit);
+  (match h (Wire.Stats 4) with
+  | Wire.Reply (4, Value.Str s) ->
+      check_bool "stats is a parsable snapshot" true
+        (match Commlat_obs.Jsonx.parse s with Ok _ -> true | Error _ -> false)
+  | _ -> Alcotest.fail "stats must reply a JSON string")
+
+(* The server-edge regression: malformed invocations abort only their own
+   transaction, answer an error frame, and leave the engine fully
+   operational. *)
+let test_error_containment () =
+  let eng = Engine.create ~uf_elements:8 () in
+  let h req = Engine.handle eng req in
+  ignore (expect_err "unknown adt" (h (invoke "queue" "push" [| Value.Int 1 |])));
+  ignore (expect_err "unknown method" (h (invoke "kvmap" "frobnicate" [||])));
+  ignore (expect_err "bad arity" (h (invoke "kvmap" "put" [| Value.Int 1 |])));
+  (* Value.Type_error from deep inside the ADT (string where an element
+     index belongs) *)
+  ignore
+    (expect_err "type error aborts the transaction only"
+       (h (invoke "union-find" "find" [| Value.Str "wat" |])));
+  (* out-of-range element: an Invalid_argument escape route *)
+  ignore
+    (expect_err "out-of-range index"
+       (h (invoke "union-find" "find" [| Value.Int 9_999_999 |])));
+  (* the engine is alive and consistent afterwards *)
+  check_bool "subsequent valid requests still work" true
+    (expect_reply "put" (h (invoke "kvmap" "put" [| Value.Int 2; Value.Int 3 |]))
+    = Value.Opt None);
+  check_bool "union-find still works" true
+    (expect_reply "find" (h (invoke "union-find" "find" [| Value.Int 0 |]))
+    = Value.Int 0)
+
+(* Aborted wire transactions must also drop their orset presence-log
+   entries (the forget-on-refusal path), and committed ones must not
+   leak: after any request sequence the log is empty. *)
+let test_orset_log_drains_through_engine () =
+  let eng = Engine.create () in
+  let h req = Engine.handle eng req in
+  for i = 0 to 99 do
+    ignore
+      (expect_reply "add"
+         (h (invoke "orset" "add" [| Value.Int (i mod 7); Value.Int i |])));
+    if i mod 3 = 0 then
+      ignore
+        (expect_reply "remove"
+           (h (invoke "orset" "remove" [| Value.Int (i mod 7); Value.Int i |])))
+  done;
+  check_int "presence log empty after all commits" 0
+    (Commlat_adts.Orset.log_size (Engine.orset_handle eng))
+
+(* ------------------------------------------------------------- *)
+(* Latency histogram                                              *)
+(* ------------------------------------------------------------- *)
+
+let test_histo_quantiles () =
+  let h = Histo.create () in
+  for v = 1 to 10_000 do
+    Histo.record h v
+  done;
+  check_int "count" 10_000 (Histo.total h);
+  check_int "max" 10_000 (Histo.max_recorded h);
+  let close q expect =
+    let got = Histo.quantile h q in
+    let rel = abs_float (float_of_int got -. expect) /. expect in
+    if rel > 0.02 then
+      Alcotest.failf "quantile %.3f: got %d, want ~%.0f (rel err %.3f)" q got
+        expect rel
+  in
+  close 0.5 5000.0;
+  close 0.99 9900.0;
+  close 0.999 9990.0;
+  check_int "q=1 never exceeds the max" 10_000 (Histo.quantile h 1.0);
+  check_bool "mean" true (abs_float (Histo.mean h -. 5000.5) < 1.0)
+
+let test_histo_merge_and_edges () =
+  let a = Histo.create () and b = Histo.create () in
+  check_int "empty quantile" 0 (Histo.quantile a 0.99);
+  Histo.record a 10;
+  Histo.record b 1_000_000;
+  Histo.record b (-5) (* clamps to 0 *);
+  Histo.merge_into ~dst:a b;
+  check_int "merged count" 3 (Histo.total a);
+  check_int "merged max" 1_000_000 (Histo.max_recorded a);
+  check_int "p01 is the clamped value" 0 (Histo.quantile a 0.01);
+  check_int "p99 is the big value" 1_000_000 (Histo.quantile a 0.999);
+  (* relative error of the log-linear buckets stays under 2/sub *)
+  let h = Histo.create () in
+  let v = 123_456_789 in
+  Histo.record h v;
+  let got = Histo.quantile h 0.5 in
+  check_bool "bucketed quantile within bound" true
+    (got >= v && float_of_int (got - v) /. float_of_int v < 2.0 /. 64.0)
+
+let suite =
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
+    [
+      prop_req_roundtrip;
+      prop_resp_roundtrip;
+      prop_truncated_rejected;
+      prop_trailing_rejected;
+    ]
+  @ [
+      Alcotest.test_case "wire: malformed tags and lengths" `Quick
+        test_codec_malformed_tags;
+      Alcotest.test_case "wire: pipe framing and caps" `Quick test_framing_pipe;
+      Alcotest.test_case "engine: conformance" `Quick test_conformance;
+      Alcotest.test_case "engine: bad requests are contained" `Quick
+        test_error_containment;
+      Alcotest.test_case "engine: orset log drains" `Quick
+        test_orset_log_drains_through_engine;
+      Alcotest.test_case "histo: quantiles" `Quick test_histo_quantiles;
+      Alcotest.test_case "histo: merge and edge cases" `Quick
+        test_histo_merge_and_edges;
+    ]

@@ -617,7 +617,8 @@ let ablation scale =
     }
   in
   let decision, stats =
-    Adaptive.run ~processors:4 ~sample_size:2048
+    Adaptive.run
+      ~policy:(Adaptive.Offline_sample { processors = 4; sample_size = 2048 })
       (List.map candidate Set_micro.all_schemes)
   in
   pf "  %a@." Adaptive.pp_decision decision;
@@ -1249,21 +1250,25 @@ module Histo = Commlat_obs.Histo
    socket, not an in-process shortcut.  A nonzero server exit fails the
    run.  Default scale keeps CI-sized cells (1 s each); --full matches
    the committed BENCH_serve.json (8000 req/s, 2 s, all four mixes). *)
+(* Resolve the real CLI binary next to the bench executable: the serve
+   and adaptive experiments measure the shipped `commlat serve` over a
+   socket, not an in-process shortcut. *)
+let cli_exe () =
+  let cand =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "commlat_cli.exe"))
+  in
+  if Sys.file_exists cand then cand
+  else
+    failwith
+      "bench: bin/commlat_cli.exe not found next to the bench binary (run \
+       `dune build` first)"
+
 let serve_bench scale =
   header "SERVE: open-loop load, commuting vs non-commuting mixes";
   let full = scale == full_scale in
-  let exe =
-    let cand =
-      Filename.concat
-        (Filename.dirname Sys.executable_name)
-        (Filename.concat ".." (Filename.concat "bin" "commlat_cli.exe"))
-    in
-    if Sys.file_exists cand then cand
-    else
-      failwith
-        "bench serve: bin/commlat_cli.exe not found next to the bench \
-         binary (run `dune build` first)"
-  in
+  let exe = cli_exe () in
   let rate = if full then 8000.0 else 4000.0 in
   let duration = if full then 2.0 else 1.0 in
   let mixes =
@@ -1304,6 +1309,217 @@ let serve_bench scale =
         mixes)
     [ 2; 4 ];
   json_doc ~experiment:"serve" ~full (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive: online lattice navigation (DESIGN.md §12)                 *)
+(* ------------------------------------------------------------------ *)
+
+module Sched_workload = Commlat_sched.Workload
+module Sched_explore = Commlat_sched.Explore
+
+let adaptive_gate_failed = ref false
+
+(* Counter lookup inside an already-parsed [Stats] snapshot. *)
+let snap_counter (snap : Jsonx.t option) name =
+  match snap with
+  | Some (Jsonx.Obj kvs) -> (
+      match List.assoc_opt "counters" kvs with
+      | Some (Jsonx.Obj cs) -> (
+          match List.assoc_opt name cs with Some (Jsonx.Int n) -> n | _ -> 0)
+      | _ -> 0)
+  | _ -> 0
+
+(* The tentpole experiment: the phase-shifting workload (commuting puts →
+   hot-key contention → read-heavy) against every fixed lattice level AND
+   the online controller.  Gates (CI fails on any):
+     - per phase, adaptive throughput >= 0.95x the best fixed level's;
+     - the controller's walk really moved both directions
+       (>=1 strengthen and >=1 weaken over the run);
+     - zero client-visible errors under the controller;
+     - the swap-protocol explorer sweep reports zero serializability
+       violations across its seeds. *)
+let adaptive_bench scale =
+  header "ADAPTIVE: online lattice navigation vs every fixed level";
+  let full = scale == full_scale in
+  let exe = cli_exe () in
+  let rate = if full then 1500.0 else 1200.0 in
+  let duration = if full then 1.2 else 0.8 in
+  let domains = 2 in
+  let base =
+    { Load.default_config with Load.rate; conns = 2; seed = !run_seed }
+  in
+  let gate_fail fmt =
+    Fmt.kstr
+      (fun m ->
+        adaptive_gate_failed := true;
+        pf "  GATE FAILED: %s@." m)
+      fmt
+  in
+  let fixed_names = [ "precise"; "simple"; "part" ] in
+  let variants =
+    List.map (fun l -> ("fixed-" ^ l, [ "--level"; l ])) fixed_names
+    @ [ ("adaptive", [ "--adaptive"; "--strengthen-above"; "0.3" ]) ]
+  in
+  let run_variant (name, extra_args) =
+    let prs, status =
+      Load.with_server ~exe ~domains ~extra_args (fun addr ->
+          Load.run_phases { base with Load.addr = addr }
+            (Load.default_phases ~duration ()))
+    in
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | _ ->
+        failwith
+          (Fmt.str "bench adaptive: server child (%s) exited abnormally" name));
+    let per_phase =
+      List.map
+        (fun ((p : Load.phase), (r : Load.result)) ->
+          let tput = float_of_int r.Load.completed /. r.Load.elapsed in
+          pf "  %-13s %-10s: %5d ok (%d errors), %6.0f req/s@." name
+            p.Load.p_name r.Load.completed r.Load.errors tput;
+          (p, r, tput))
+        prs
+    in
+    (name, per_phase)
+  in
+  let results = List.map run_variant variants in
+  let per_phase_of name = List.assoc name results in
+  let adaptive_pp = per_phase_of "adaptive" in
+  (* gate: per-phase throughput within 5% of the best fixed level *)
+  List.iter
+    (fun ((p : Load.phase), (_ : Load.result), at) ->
+      let best =
+        List.fold_left
+          (fun acc l ->
+            List.fold_left
+              (fun acc ((q : Load.phase), _, t) ->
+                if q.Load.p_name = p.Load.p_name then Float.max acc t else acc)
+              acc
+              (per_phase_of ("fixed-" ^ l)))
+          0.0 fixed_names
+      in
+      pf "  phase %-10s adaptive %6.0f vs best fixed %6.0f req/s (%.2fx)@."
+        p.Load.p_name at best
+        (if best > 0.0 then at /. best else 1.0);
+      if at < 0.95 *. best then
+        gate_fail "phase %s: adaptive %.0f req/s < 0.95x best fixed %.0f"
+          p.Load.p_name at best)
+    adaptive_pp;
+  (* gate: no client-visible errors under the controller *)
+  List.iter
+    (fun ((p : Load.phase), (r : Load.result), _) ->
+      if r.Load.errors > 0 then
+        gate_fail "phase %s: %d client errors under adaptive" p.Load.p_name
+          r.Load.errors)
+    adaptive_pp;
+  (* gate: the lattice walk moved both directions (counters are cumulative,
+     so the last phase's snapshot totals the whole run) *)
+  let final_snap =
+    match List.rev adaptive_pp with
+    | (_, (r : Load.result), _) :: _ -> r.Load.server_obs
+    | [] -> None
+  in
+  let strengthens = snap_counter final_snap "adaptive_strengthens" in
+  let weakens = snap_counter final_snap "adaptive_weakens" in
+  pf "  transitions: %d strengthens, %d weakens@." strengthens weakens;
+  if strengthens < 1 then gate_fail "controller never strengthened";
+  if weakens < 1 then gate_fail "controller never weakened";
+  (* gate: the swap protocol itself, model-checked — every interleaving of
+     transactions racing a mid-run detector flip stays serializable *)
+  let seeds = if full then [ 11; 12; 13; 14 ] else [ 11; 12 ] in
+  let sweep =
+    List.map
+      (fun seed ->
+        let swaps = ref 0 in
+        let w =
+          match
+            Sched_workload.swap_set ~txns:2 ~ops_per_txn:2 ~keys:2 ~seed
+              ~on_swap:(fun () -> incr swaps)
+              ()
+          with
+          | Ok w -> w
+          | Error e -> failwith ("bench adaptive: " ^ e)
+        in
+        let r =
+          Sched_explore.explore
+            ~config:
+              { Sched_explore.default_config with
+                Sched_explore.max_schedules = 300 }
+            w.Sched_workload.make
+        in
+        let violations =
+          match r.Sched_explore.verdict with None -> 0 | Some _ -> 1
+        in
+        if violations > 0 then
+          gate_fail "swap explorer: seed %d found a serializability violation"
+            seed;
+        (seed, r.Sched_explore.c.Sched_explore.runs, !swaps, violations))
+      seeds
+  in
+  let sum f = List.fold_left (fun a x -> a + f x) 0 sweep in
+  pf "  swap explorer: %d schedules, %d swaps, %d violations@."
+    (sum (fun (_, r, _, _) -> r))
+    (sum (fun (_, _, s, _) -> s))
+    (sum (fun (_, _, _, v) -> v));
+  let rows =
+    List.concat_map
+      (fun (name, per_phase) ->
+        List.map
+          (fun ((p : Load.phase), r, _) ->
+            let cfg =
+              {
+                base with
+                Load.mix = p.Load.p_mix;
+                theta = p.Load.p_theta;
+                keys = p.Load.p_keys;
+                duration = p.Load.p_duration;
+                burst = p.Load.p_burst;
+              }
+            in
+            match Load.row_json ~cfg ~domains r with
+            | Jsonx.Obj fields ->
+                Jsonx.Obj
+                  (("variant", Jsonx.Str name)
+                  :: ("phase", Jsonx.Str p.Load.p_name)
+                  :: fields)
+            | j -> j)
+          per_phase)
+      results
+  in
+  let swap_explorer_json =
+    Jsonx.Obj
+      [
+        ("schedules", Jsonx.Int (sum (fun (_, r, _, _) -> r)));
+        ("swaps", Jsonx.Int (sum (fun (_, _, s, _) -> s)));
+        ("violations", Jsonx.Int (sum (fun (_, _, _, v) -> v)));
+        ( "per_seed",
+          Jsonx.List
+            (List.map
+               (fun (seed, runs, swaps, violations) ->
+                 Jsonx.Obj
+                   [
+                     ("seed", Jsonx.Int seed);
+                     ("schedules", Jsonx.Int runs);
+                     ("swaps", Jsonx.Int swaps);
+                     ("violations", Jsonx.Int violations);
+                   ])
+               sweep) );
+      ]
+  in
+  match json_doc ~experiment:"adaptive" ~full rows with
+  | Jsonx.Obj fields ->
+      Jsonx.Obj
+        (fields
+        @ [
+            ("swap_explorer", swap_explorer_json);
+            ( "transitions",
+              Jsonx.Obj
+                [
+                  ("strengthens", Jsonx.Int strengthens);
+                  ("weakens", Jsonx.Int weakens);
+                ] );
+          ])
+  | j -> j
 
 (* ------------------------------------------------------------------ *)
 (* Main                                                                *)
@@ -1385,6 +1601,10 @@ let () =
   | "scaling" -> emit (scaling ?detector scale)
   | "sharding" -> emit (sharding ?detector scale)
   | "serve" -> emit (serve_bench scale)
+  | "adaptive" ->
+      let doc = adaptive_bench scale in
+      emit doc;
+      if !adaptive_gate_failed then exit 1
   | "compile" ->
       let doc = compile_bench scale in
       emit doc;
@@ -1395,6 +1615,6 @@ let () =
   | other ->
       pf
         "unknown experiment %S; one of \
-         all|table1|table2|fig10|fig11|fig12|figs|scaling|sharding|serve|compile|model|ablation|bechamel@."
+         all|table1|table2|fig10|fig11|fig12|figs|scaling|sharding|serve|adaptive|compile|model|ablation|bechamel@."
         other;
       exit 1

@@ -1063,15 +1063,20 @@ let domains_list_arg =
 
 let serve_cmd =
   let open Commlat_server in
-  let run addr domains batch shards quiet =
+  let run addr domains batch shards quiet adaptive level tick strengthen_above
+      weaken_above cooldown =
     let domains = match domains with [ d ] -> d | _ ->
       Fmt.epr "serve: --domains takes a single value@.";
       exit 2
     in
+    if adaptive && level <> None then (
+      Fmt.epr "serve: --adaptive and --level are mutually exclusive@.";
+      exit 2);
     let addr = Option.value addr ~default:(Server.Unix_sock "/tmp/commlat.sock") in
     let cfg =
       { Server.default_config with addr; domains; batch; nshards = shards;
-        verbose = not quiet }
+        verbose = not quiet; adaptive; level; tick; strengthen_above;
+        weaken_above; cooldown }
     in
     ignore (Server.run cfg)
   in
@@ -1087,19 +1092,72 @@ let serve_cmd =
       & info [ "shards" ] ~docv:"N" ~doc:"Detector shards per exposed ADT.")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No startup banner.") in
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Run the online lattice controller: watch per-epoch conflict and \
+             check-cost signals and hot-swap each ADT's detector up or down \
+             its commutativity chain at epoch boundaries. Mutually exclusive \
+             with $(b,--level).")
+  in
+  let level =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "level" ] ~docv:"NAME"
+          ~doc:
+            "Pin every chain that has a level NAME (precise, simple, part) \
+             to it at startup. Mutually exclusive with $(b,--adaptive).")
+  in
+  let tick =
+    Arg.(
+      value & opt float Server.default_config.Server.tick
+      & info [ "tick" ] ~docv:"SECONDS"
+          ~doc:"Adaptive controller observation window.")
+  in
+  let strengthen_above =
+    Arg.(
+      value & opt float Server.default_config.Server.strengthen_above
+      & info [ "strengthen-above" ] ~docv:"X"
+          ~doc:
+            "Strengthen (coarsen) when conflict checks per invocation \
+             exceed X in a window.")
+  in
+  let weaken_above =
+    Arg.(
+      value & opt float Server.default_config.Server.weaken_above
+      & info [ "weaken-above" ] ~docv:"X"
+          ~doc:
+            "Weaken (toward precise) when the refusal ratio exceeds X in a \
+             window.")
+  in
+  let cooldown =
+    Arg.(
+      value & opt int Server.default_config.Server.cooldown
+      & info [ "cooldown" ] ~docv:"N"
+          ~doc:
+            "Windows to hold after a move before strengthening again (and \
+             calm windows needed to forgive a burned level).")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits
        ~doc:
-         "Serve the protected ADTs (kvmap, set, orset, union-find) over the \
-          length-prefixed wire protocol until a Quit request arrives. \
-          Requests route to worker domains by footprint shard key; each \
-          worker group-commits its epoch's transactions.")
-    Term.(const run $ addr_args () $ domains_list_arg $ batch $ shards $ quiet)
+         "Serve the protected ADTs (kvmap, set, orset, union-find, \
+          flow-graph) over the length-prefixed wire protocol until a Quit \
+          request arrives. Requests route to worker domains by footprint \
+          shard key; each worker group-commits its epoch's transactions. \
+          With $(b,--adaptive), an online controller renavigates each ADT's \
+          commutativity lattice under load.")
+    Term.(
+      const run $ addr_args () $ domains_list_arg $ batch $ shards $ quiet
+      $ adaptive $ level $ tick $ strengthen_above $ weaken_above $ cooldown)
 
 let load_cmd =
   let open Commlat_server in
-  let run addr self_serve domains mixes rate duration conns keys theta seed
-      json_file =
+  let run addr self_serve phases adaptive server_level domains mixes rate
+      duration conns keys theta burst seed json_file =
     let mixes =
       List.map
         (fun m ->
@@ -1110,41 +1168,82 @@ let load_cmd =
               exit 2)
         mixes
     in
+    if (adaptive || server_level <> None) && not self_serve then (
+      Fmt.epr "load: --adaptive/--level need --self-serve@.";
+      exit 2);
+    if adaptive && server_level <> None then (
+      Fmt.epr "load: --adaptive and --level are mutually exclusive@.";
+      exit 2);
+    let extra_args =
+      (if adaptive then [ "--adaptive" ] else [])
+      @ match server_level with Some l -> [ "--level"; l ] | None -> []
+    in
     let cfg_of mix =
-      { Load.default_config with conns; rate; duration; keys; theta; seed; mix }
+      { Load.default_config with conns; rate; duration; keys; theta; seed;
+        mix; burst }
     in
     let failed = ref false in
     let rows = ref [] in
-    let report ~domains mix (r : Load.result) =
+    let report ~domains name (r : Load.result) =
       Fmt.pr
         "%-14s %d domains: %6d/%d ok (%d errors), %8.0f req/s, p50 %.3fms \
          p99 %.3fms p999 %.3fms@."
-        (Load.mix_name mix) domains r.Load.completed r.Load.sent r.Load.errors
+        name domains r.Load.completed r.Load.sent r.Load.errors
         (float_of_int r.Load.completed /. r.Load.elapsed)
         (float_of_int (Commlat_obs.Histo.quantile r.Load.hist 0.5) *. 1e-6)
         (float_of_int (Commlat_obs.Histo.quantile r.Load.hist 0.99) *. 1e-6)
         (float_of_int (Commlat_obs.Histo.quantile r.Load.hist 0.999) *. 1e-6);
       if r.Load.completed = 0 then failed := true
     in
+    let check_status = function
+      | Unix.WEXITED 0 -> ()
+      | _ ->
+          Fmt.epr "load: server exited abnormally@.";
+          failed := true
+    in
+    let phase_rows ~domains prs =
+      List.iter
+        (fun (p, r) ->
+          report ~domains ("phase:" ^ p.Load.p_name) r;
+          let cfg =
+            { (cfg_of p.Load.p_mix) with
+              Load.theta = p.Load.p_theta; keys = p.Load.p_keys;
+              duration = p.Load.p_duration; burst = p.Load.p_burst }
+          in
+          let row =
+            match Load.row_json ~cfg ~domains r with
+            | Jsonx.Obj fields ->
+                Jsonx.Obj (("phase", Jsonx.Str p.Load.p_name) :: fields)
+            | j -> j
+          in
+          rows := row :: !rows)
+        prs
+    in
     (if self_serve then
        let exe = Sys.executable_name in
        List.iter
          (fun d ->
-           List.iter
-             (fun mix ->
-               let cfg = cfg_of mix in
-               let r, status =
-                 Load.with_server ~exe ~domains:d (fun addr ->
-                     Load.run { cfg with addr })
-               in
-               (match status with
-               | Unix.WEXITED 0 -> ()
-               | _ ->
-                   Fmt.epr "load: server exited abnormally@.";
-                   failed := true);
-               report ~domains:d mix r;
-               rows := Load.row_json ~cfg ~domains:d r :: !rows)
-             mixes)
+           if phases then (
+             let r, status =
+               Load.with_server ~exe ~domains:d ~extra_args (fun addr ->
+                   Load.run_phases
+                     { (cfg_of Load.Put) with Load.addr }
+                     (Load.default_phases ~duration ()))
+             in
+             check_status status;
+             phase_rows ~domains:d r)
+           else
+             List.iter
+               (fun mix ->
+                 let cfg = cfg_of mix in
+                 let r, status =
+                   Load.with_server ~exe ~domains:d ~extra_args (fun addr ->
+                       Load.run { cfg with addr })
+                 in
+                 check_status status;
+                 report ~domains:d (Load.mix_name mix) r;
+                 rows := Load.row_json ~cfg ~domains:d r :: !rows)
+               mixes)
          domains
      else
        let addr =
@@ -1160,13 +1259,19 @@ let load_cmd =
          Fmt.epr "load: --domains takes a single value without --self-serve@.";
          exit 2
        in
-       List.iter
-         (fun mix ->
-           let cfg = { (cfg_of mix) with Load.addr } in
-           let r = Load.run cfg in
-           report ~domains:d mix r;
-           rows := Load.row_json ~cfg ~domains:d r :: !rows)
-         mixes);
+       if phases then
+         phase_rows ~domains:d
+           (Load.run_phases
+              { (cfg_of Load.Put) with Load.addr }
+              (Load.default_phases ~duration ()))
+       else
+         List.iter
+           (fun mix ->
+             let cfg = { (cfg_of mix) with Load.addr } in
+             let r = Load.run cfg in
+             report ~domains:d (Load.mix_name mix) r;
+             rows := Load.row_json ~cfg ~domains:d r :: !rows)
+           mixes);
     (match json_file with
     | None -> ()
     | Some file ->
@@ -1174,7 +1279,8 @@ let load_cmd =
           Jsonx.Obj
             [
               ("schema", Jsonx.Str "commlat-bench/1");
-              ("experiment", Jsonx.Str "serve");
+              ( "experiment",
+                Jsonx.Str (if phases then "load-phases" else "serve") );
               ("seed", Jsonx.Int seed);
               ("scale", Jsonx.Str "default");
               ("rows", Jsonx.List (List.rev !rows));
@@ -1191,6 +1297,33 @@ let load_cmd =
             "Spawn a $(b,commlat serve) child per (domain count, mix) cell \
              on a private Unix socket, and fail if any child exits nonzero.")
   in
+  let phases =
+    Arg.(
+      value & flag
+      & info [ "phases" ]
+          ~doc:
+            "Instead of $(b,--mixes), drive the phase-shifting sweep \
+             (commuting puts, then hot-key contention, then read-heavy) \
+             back to back against one server — the workload the adaptive \
+             controller is built for. $(b,--duration) is per phase.")
+  in
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "With $(b,--self-serve): start the server with its online \
+             lattice controller enabled.")
+  in
+  let server_level =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "level" ] ~docv:"NAME"
+          ~doc:
+            "With $(b,--self-serve): pin the server's chains to lattice \
+             level NAME (precise, simple, part).")
+  in
   let mixes =
     Arg.(
       value
@@ -1198,7 +1331,7 @@ let load_cmd =
       & info [ "mixes" ] ~docv:"MIX,..."
           ~doc:
             "Workload mixes: read-heavy, write-heavy, commuting, \
-             non-commuting.")
+             non-commuting, put.")
   in
   let rate =
     Arg.(
@@ -1224,6 +1357,16 @@ let load_cmd =
       value & opt float 0.99
       & info [ "theta" ] ~docv:"T" ~doc:"Zipf exponent (0 = uniform).")
   in
+  let burst =
+    Arg.(
+      value & opt int 1
+      & info [ "burst" ] ~docv:"N"
+          ~doc:
+            "Schedule arrivals in groups of $(docv) at the same instant \
+             (aggregate rate unchanged). Bursts fill server epochs, which \
+             is what makes transactions overlap; with $(b,--phases) each \
+             phase bursts at 32 regardless.")
+  in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
   in
@@ -1235,8 +1378,9 @@ let load_cmd =
           recording (p50/p99/p999), emitting commlat-bench/1 JSON that \
           $(b,commlat stats --validate) accepts.")
     Term.(
-      const run $ addr_args () $ self_serve $ domains_list_arg $ mixes $ rate
-      $ duration $ conns $ keys $ theta $ seed $ json_file_arg)
+      const run $ addr_args () $ self_serve $ phases $ adaptive $ server_level
+      $ domains_list_arg $ mixes $ rate $ duration $ conns $ keys $ theta
+      $ burst $ seed $ json_file_arg)
 
 (* ---- print ---- *)
 

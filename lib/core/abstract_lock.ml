@@ -456,3 +456,7 @@ let detector ?(reduce_scheme = true) ?(stripes = 0) ?(compiled = false) ?obs
     snapshot = (fun () -> Obs.snapshot t.obs);
     guards = all_sgs @ [ t.mu ];
   }
+
+module Private = struct
+  let detector = detector
+end

@@ -57,11 +57,12 @@ val none : t
     an error. *)
 val compose : t list -> t
 
-(** A single exclusive lock on the whole structure: the scheme the
-    abstract-locking construction yields for the ⊥ specification (paper
-    §4.1).
-
-    @deprecated Application code should build detectors through
-    {!Commlat_runtime.Protect.protect} (scheme [Global_lock]); this stays
-    for detector internals and tests. *)
-val global_lock : ?obs:bool -> unit -> t
+(** Implementation detail of {!Commlat_runtime.Protect} (scheme
+    [Global_lock]) and of this library's own tests; application code
+    should construct detectors through [Protect.protect]. *)
+module Private : sig
+  (** A single exclusive lock on the whole structure: the scheme the
+      abstract-locking construction yields for the ⊥ specification (paper
+      §4.1). *)
+  val global_lock : ?obs:bool -> unit -> t
+end

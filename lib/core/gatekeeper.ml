@@ -815,6 +815,44 @@ let all_guards (t : t) =
     Array.to_list (Array.map (fun (s : shard) -> s.s_guard) t.shards) @ [ t.mu ]
   else [ t.mu ]
 
+(* ------------------------------------------------------------------ *)
+(* Live-state transfer (detector hot-swap)                             *)
+(* ------------------------------------------------------------------ *)
+
+let active_invocations (t : t) : Invocation.t list =
+  Guard.protect_all (all_guards t) (fun () ->
+      let acc = ref [] in
+      Array.iter
+        (fun (sh : shard) ->
+          Hashtbl.iter
+            (fun _ bucket -> List.iter (fun e -> acc := e.inv :: !acc) !bucket)
+            sh.s_active)
+        t.shards;
+      List.sort
+        (fun (a : Invocation.t) (b : Invocation.t) -> Int.compare a.seq b.seq)
+        !acc)
+
+let adopt (t : t) (invs : Invocation.t list) =
+  Guard.protect_all (all_guards t) (fun () ->
+      List.iter
+        (fun (inv : Invocation.t) ->
+          t.seq <- t.seq + 1;
+          inv.Invocation.seq <- t.seq;
+          let entry = { inv; log = Hashtbl.create 4 } in
+          (* both halves of the C_m log: the invocation has already
+             executed, so ret-mentioning argument terms are evaluable *)
+          populate_log t entry ~post_exec:false;
+          populate_log t entry ~post_exec:true;
+          if inv.Invocation.meth.rollback_log then begin
+            if t.striped then begin
+              let sh = t.shards.(shard_idx t inv) in
+              sh.s_muts <- inv :: sh.s_muts
+            end
+            else t.mutation_log <- inv :: t.mutation_log
+          end;
+          insert_entry t t.shards.(shard_idx t inv) entry)
+        invs)
+
 let detector ~name (t : t) : Detector.t =
   {
     Detector.name;
@@ -866,3 +904,8 @@ let general_sharded ?(nshards = 16) ?compiled ?obs ~hooks:h (spec : Spec.t) :
     Detector.t * t =
   let t = make ~nshards ?compiled ?obs ~allow_rollback:true h spec in
   (detector ~name:(Fmt.str "gen-gk-sharded(%s)" (Spec.adt spec)) t, t)
+
+module Private = struct
+  let forward = forward
+  let general = general
+end

@@ -109,29 +109,29 @@ val batch_check : t -> Invocation.t -> unit
     recorded on every invocation of that method.  Order is unspecified. *)
 val cm_functions : t -> string -> (string * Formula.term list) list
 
-(** Forward gatekeeper (paper §3.3.1).  Raises [Invalid_argument] if the
-    spec has non-ONLINE-CHECKABLE conditions; [hooks.undo]/[redo] are never
-    used, so bare [hooks sfun] suffices.  [?obs] enables/disables the
-    observability registry (defaults to the [COMMLAT_OBS] environment
-    toggle; see {!Commlat_obs.Obs.create}).  [?compiled] (default [false])
-    swaps every state-free condition's per-check environment construction
-    for a {!Compile}d zero-allocation closure; verdicts are identical (see
-    the differential suite).
+(** {1 Live-state transfer}
 
-    @deprecated Application code should build detectors through
-    {!Commlat_runtime.Protect.protect} (schemes [Forward_gk] /
-    [Sharded (Forward_gk, n)]); the constructors here stay for detector
-    internals and tests. *)
-val forward :
-  ?compiled:bool -> ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
+    Support for hot-swapping one gatekeeper for another over the same ADT
+    (the server's adaptive controller; see DESIGN.md §12).  The swap
+    protocol is: quiesce or hold every guard of the {e old} gatekeeper,
+    read {!active_invocations}, build the successor, {!adopt} the list,
+    install the successor's detector. *)
 
-(** General gatekeeper (paper §3.3.2).  Accepts any L1 spec; needs working
-    [undo]/[redo] hooks (or [sfun_at]).
+(** Every entry in the active-invocation table, in seq (execution) order.
+    Takes the gatekeeper's guards, so it is safe to call concurrently —
+    though a meaningful swap reads it at a point where the caller knows no
+    new invocations can race in (e.g. the server's epoch barrier, where
+    every open transaction has just committed and the list is empty). *)
+val active_invocations : t -> Invocation.t list
 
-    @deprecated Prefer {!Commlat_runtime.Protect.protect} (scheme
-    [General_gk]). *)
-val general :
-  ?compiled:bool -> ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
+(** Re-home already-executed invocations into this gatekeeper: restamp
+    their [seq] (preserving relative order), rebuild their [C_m] logs
+    against the current state, and insert them into the active table (and
+    mutation log, for [rollback_log] methods).  Sound when the adopted
+    methods' log sets are empty or the underlying state has not mutated
+    since they executed — trivially true for the empty list the server's
+    epoch barrier produces, and for state-free (forward/striped) specs. *)
+val adopt : t -> Invocation.t list -> unit
 
 (** Footprint-sharded forward gatekeeper ([nshards] defaults to 16).  When
     every condition is state-free the shards are striped under per-shard
@@ -156,3 +156,23 @@ val general_sharded :
   hooks:hooks ->
   Spec.t ->
   Detector.t * t
+
+(** Unsharded single-scheme constructors.  These are implementation detail
+    of {!Commlat_runtime.Protect} (schemes [Forward_gk] / [General_gk]) and
+    of this library's own tests; application code should construct
+    detectors through [Protect.protect] / [Protect.protect_gatekeeper],
+    which is why they no longer appear at the module's top level. *)
+module Private : sig
+  (** Forward gatekeeper (paper §3.3.1).  Raises [Invalid_argument] if the
+      spec has non-ONLINE-CHECKABLE conditions; [hooks.undo]/[redo] are
+      never used, so bare [hooks sfun] suffices.  [?obs] defaults to the
+      [COMMLAT_OBS] environment toggle; [?compiled] (default [false]) swaps
+      state-free conditions to {!Compile}d zero-allocation closures. *)
+  val forward :
+    ?compiled:bool -> ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
+
+  (** General gatekeeper (paper §3.3.2).  Accepts any L1 spec; needs
+      working [undo]/[redo] hooks (or [sfun_at]). *)
+  val general :
+    ?compiled:bool -> ?obs:bool -> hooks:hooks -> Spec.t -> Detector.t * t
+end

@@ -1,45 +1,134 @@
-(** Adaptive conflict-detector selection.
+(** Adaptive detector selection (paper §5's "future work" system), behind a
+    first-class policy type.
 
-    The paper closes §5 noting that ranking checkers by permittivity could
-    let "an automated system ... adaptively and dynamically select from
-    these implementations as run-time needs change"; this module is that
-    system, for the bulk-synchronous executor.  {!choose} runs a sampling
-    prefix of the workload under each candidate, measuring throughput
-    (folding together the detector's overhead [o_d] and the parallelism
-    [a_d] it admits — the two quantities the paper's [T·o_d/min(a_d,p)]
-    model trades off); the winner runs the full workload.
+    Two policies navigate the same commutativity lattice:
 
-    Sampling re-executes the prefix from scratch per candidate, so the
-    candidate constructor must provide fresh state each time. *)
+    - {!Offline_sample}: run a sampling prefix of the workload under each
+      candidate detector, score by virtual per-iteration cost, run the
+      winner ({!choose} / {!run}).  One decision, before execution.
+    - {!Online}: a hysteresis {!controller} consumes per-window
+      observability deltas ({!signals}) from the {e live} detector and
+      walks a chain of lattice points one step at a time — strengthening
+      when conflict-check overhead dominates, weakening back toward the
+      precise spec when abort ratios climb.  The host (the server's epoch
+      scheduler) performs the actual hot-swap and feeds the next window.
+
+    The module owns only decision logic; it never swaps a detector itself,
+    which keeps the controller deterministic and unit-testable on
+    synthetic signal streams. *)
 
 open Commlat_core
 
+type policy =
+  | Offline_sample of { processors : int; sample_size : int }
+      (** sample every candidate on a workload prefix, pick the cheapest *)
+  | Online of { strengthen_above : float; weaken_above : float; cooldown : int }
+      (** strengthen one lattice step when checks-per-invocation exceeds
+          [strengthen_above] while (almost) nothing aborts; weaken one
+          step when the abort ratio exceeds [weaken_above]; hold
+          [cooldown] observation windows after any transition (weakening
+          bypasses the cooldown — it is the safety valve) *)
+
+(** [Offline_sample { processors = 4; sample_size = 64 }] *)
+val default_offline : policy
+
+(** [Online { strengthen_above = 2.0; weaken_above = 0.05; cooldown = 3 }] *)
+val default_online : policy
+
+(** A named way to run the workload: fresh state, a detector over it, the
+    operator and initial worklist.  [prepare] must rebuild from scratch on
+    every call (sampling executes a prefix once per candidate, then the
+    winner re-runs the full list). *)
 type 'w candidate = {
   name : string;
   prepare : unit -> Detector.t * (Txn.t -> 'w -> 'w list) * 'w list;
-      (** fresh application state + detector + operator + initial
-          worklist *)
+}
+
+type verdict = Hold | Strengthen | Weaken
+
+val verdict_name : verdict -> string
+
+(** One observation window's detector-counter deltas (differences between
+    successive obs snapshots, never lifetime totals).  Counters a scheme
+    does not export are 0. *)
+type signals = {
+  s_invocations : int;
+  s_conflicts : int;  (** spec-refused invocations (gatekeepers) *)
+  s_checks : int;  (** commutativity conditions evaluated *)
+  s_checks_avoided : int;  (** scans skipped by footprint sharding *)
+  s_lock_denials : int;  (** lock-based schemes' refusals *)
+  s_requests : int;  (** embedder-level work units (0 if unknown) *)
+  s_ro_fast : int;  (** batch_check fast-path admissions (0 if unknown) *)
+}
+
+(** All zeros. *)
+val no_signals : signals
+
+(** One recorded lattice move. *)
+type transition = {
+  t_window : int;  (** observation-window index (0-based) *)
+  t_from : string;  (** level name the controller left *)
+  t_to : string;  (** level name it installed *)
+  t_verdict : verdict;  (** [Strengthen] or [Weaken] *)
+  t_abort_ratio : float;  (** the window's conflicts-per-invocation *)
+  t_check_cost : float;  (** the window's checks-per-invocation *)
 }
 
 type 'w decision = {
   winner : 'w candidate;
-  scores : (string * float) list;
-      (** virtual time per iteration, lower wins *)
+  scores : (string * float) list;  (** virtual time per iteration, lower wins *)
   samples : int;
+  transitions : transition list;
+      (** per-window lattice moves; always [] for {!Offline_sample} *)
 }
 
-(** Sample every candidate on a prefix of [sample_size] items and pick the
-    cheapest.  Raises [Invalid_argument] on an empty candidate list, empty
-    names or duplicate names. *)
-val choose :
-  ?processors:int -> ?sample_size:int -> 'w candidate list -> 'w decision
+(** {1 The online controller} *)
 
-(** Sample, pick, and run the winner on the full workload.  Returns the
+(** Hysteresis state for one lattice chain (one protected ADT). *)
+type controller
+
+(** [controller ?policy levels] — [levels] are the chain's level names,
+    weakest-first: index 0 the most precise spec, the last index the
+    coarsest strengthening.  The cursor starts at 0; [policy] defaults to
+    {!default_online}.
+
+    @raise Invalid_argument if [policy] is not [Online], or fewer than two
+    levels are given. *)
+val controller : ?policy:policy -> string list -> controller
+
+(** Current level index / name.  The caller installs the corresponding
+    detector after each {!observe} that returns a non-[Hold] verdict. *)
+val current : controller -> int
+
+val current_level : controller -> string
+
+(** Feed one window of signals.  Updates the cursor, cooldown, and burn
+    set, records any transition, and returns the verdict.  A level the
+    controller weakens {e away from} is {e burned} — not re-entered until
+    the workload has looked calm (no refusals, check cost under threshold)
+    for [cooldown] consecutive windows — which is what stops the
+    strengthen/abort/weaken limit cycle on a steady contended phase. *)
+val observe : controller -> signals -> verdict
+
+(** All recorded transitions, oldest first. *)
+val transitions : controller -> transition list
+
+val pp_transition : transition Fmt.t
+
+(** {1 Offline sampling} *)
+
+(** Sample every candidate on [sample_size] worklist items with
+    [processors] simulated processors; lower score wins.  Scores estimate
+    virtual runtime per unit of useful work — the paper's
+    [T·o_d/min(a_d,p)] folded into a measurement.  [policy] defaults to
+    {!default_offline}.
+
+    @raise Invalid_argument under an [Online] policy (it has no sampling
+    phase), on an empty candidate list, or on empty/duplicate names. *)
+val choose : ?policy:policy -> 'w candidate list -> 'w decision
+
+(** [choose], then run the winner on the full worklist; returns the
     decision and the winning run's stats. *)
-val run :
-  ?processors:int ->
-  ?sample_size:int ->
-  'w candidate list ->
-  'w decision * Executor.stats
+val run : ?policy:policy -> 'w candidate list -> 'w decision * Executor.stats
 
 val pp_decision : _ decision Fmt.t

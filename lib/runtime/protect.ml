@@ -96,7 +96,7 @@ let require_hooks name = function
 
 (** Build a detector for [spec] over [adt] with the given scheme.  [?obs]
     enables/disables the detector's observability registry.
-    [?reduce_scheme] is forwarded to {!Abstract_lock.detector}.
+    [?reduce_scheme] is forwarded to {!Abstract_lock.Private.detector}.
 
     [?compiled] (default [true]) routes conflict checks through the spec
     compiler ({!Commlat_core.Compile}): gatekeepers evaluate state-free
@@ -118,21 +118,21 @@ let require_hooks name = function
 let protect ?obs ?reduce_scheme ?(compiled = true) ~(spec : Spec.t)
     ~(adt : adt) (s : scheme) : Detector.t =
   match s with
-  | Global_lock -> Detector.global_lock ?obs ()
-  | Abstract_lock -> Abstract_lock.detector ?reduce_scheme ~compiled ?obs spec
+  | Global_lock -> Detector.Private.global_lock ?obs ()
+  | Abstract_lock -> Abstract_lock.Private.detector ?reduce_scheme ~compiled ?obs spec
   | Forward_gk ->
       fst
-        (Gatekeeper.forward ~compiled ?obs
+        (Gatekeeper.Private.forward ~compiled ?obs
            ~hooks:(require_hooks "fwd-gk" adt) spec)
   | General_gk ->
       fst
-        (Gatekeeper.general ~compiled ?obs
+        (Gatekeeper.Private.general ~compiled ?obs
            ~hooks:(require_hooks "gen-gk" adt) spec)
   | Stm -> (
       match adt.connect_tracer with
       | None -> invalid_arg "Protect.protect: stm needs adt connect_tracer"
       | Some connect ->
-          let det, tracer = Stm.create ?obs () in
+          let det, tracer = Stm.Private.create ?obs () in
           connect tracer;
           det)
   | Sharded (base, n) -> (
@@ -148,7 +148,7 @@ let protect ?obs ?reduce_scheme ?(compiled = true) ~(spec : Spec.t)
             (Gatekeeper.general_sharded ~nshards:n ~compiled ?obs
                ~hooks:(require_hooks "gen-gk-sharded" adt) spec)
       | Abstract_lock ->
-          Abstract_lock.detector ?reduce_scheme ~stripes:n ~compiled ?obs spec
+          Abstract_lock.Private.detector ?reduce_scheme ~stripes:n ~compiled ?obs spec
       | Global_lock | Stm | Sharded _ ->
           invalid_arg
             (Fmt.str "Protect.protect: %s cannot be sharded" (scheme_name base)))
@@ -161,8 +161,8 @@ let protect ?obs ?reduce_scheme ?(compiled = true) ~(spec : Spec.t)
 let protect_gatekeeper ?obs ?(compiled = true) ~(hooks : Gatekeeper.hooks)
     ~(spec : Spec.t) (s : scheme) : Detector.t * Gatekeeper.t =
   match s with
-  | Forward_gk -> Gatekeeper.forward ~compiled ?obs ~hooks spec
-  | General_gk -> Gatekeeper.general ~compiled ?obs ~hooks spec
+  | Forward_gk -> Gatekeeper.Private.forward ~compiled ?obs ~hooks spec
+  | General_gk -> Gatekeeper.Private.general ~compiled ?obs ~hooks spec
   | Sharded (Forward_gk, n) when n > 0 ->
       Gatekeeper.forward_sharded ~nshards:n ~compiled ?obs ~hooks spec
   | Sharded (General_gk, n) when n > 0 ->

@@ -27,9 +27,10 @@ val tracer : t -> Mem_trace.t
 
 val detector : t -> Detector.t
 
-(** Convenience: a fresh STM with its detector and tracer.
-
-    @deprecated Prefer {!Protect.protect} (scheme [Stm]) with an [adt]
-    carrying a [connect_tracer]; this stays for runtime internals and
-    tests. *)
-val create : ?obs:bool -> unit -> Detector.t * Mem_trace.t
+(** Implementation detail of {!Protect} (scheme [Stm]) and of the runtime's
+    own tests; application code should construct detectors through
+    [Protect.protect] with an [adt] carrying a [connect_tracer]. *)
+module Private : sig
+  (** Convenience: a fresh STM with its detector and tracer. *)
+  val create : ?obs:bool -> unit -> Detector.t * Mem_trace.t
+end

@@ -24,7 +24,7 @@ type t = {
   make : unit -> Scheduler.instance;
 }
 
-let names = [ "set"; "kvmap"; "union-find" ]
+let names = [ "set"; "kvmap"; "union-find"; "swap-set" ]
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -212,6 +212,135 @@ let union_find ?(txns = 3) ?(ops_per_txn = 2) ?(elements = 8) ?(seed = 42)
     (check_scheme ~what:"union-find" make)
 
 (* ------------------------------------------------------------------ *)
+(* Detector hot-swap protocol                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** The server's adaptive mode swaps an ADT's detector at an epoch
+    boundary — a point with zero open transactions, reached with every
+    detector guard held.  This workload puts that protocol itself under
+    the explorer: [txns] transactions run over ONE shared set while an
+    extra "swapper" fiber repeatedly tries to flip a dispatcher between
+    two detectors at different lattice points (a precise forward
+    gatekeeper and the global lock).  The flip takes every guard of both
+    detectors and only proceeds when no transaction is open — exactly the
+    server's barrier condition.  The oracle then demands the {e merged}
+    committed history (part admitted by one detector, part by the other)
+    be serializable against the reference model.
+
+    [spec = None]: commutativity-based schedule pruning assumes one fixed
+    independence relation, which a mid-run detector change invalidates, so
+    the sweep explores unpruned.
+
+    [on_swap] is called at every successful flip (across all schedules of
+    a sweep), so a test can assert the explorer actually exercised the
+    swap and not just its failed attempts. *)
+let swap_set ?(txns = 2) ?(ops_per_txn = 2) ?(keys = 2) ?(seed = 42)
+    ?(on_swap = fun () -> ()) () : (t, string) result =
+  let rng = Random.State.make [| 0x5a4; seed |] in
+  let plan =
+    Array.init txns (fun _ ->
+        List.init ops_per_txn (fun _ ->
+            let k = Random.State.int rng keys in
+            let m =
+              match Random.State.int rng 3 with
+              | 0 -> Iset.m_add
+              | 1 -> Iset.m_remove
+              | _ -> Iset.m_contains
+            in
+            (m, k)))
+  in
+  let make () =
+    let s = Iset.create () in
+    let adt () = Protect.adt ~hooks:(Iset.hooks s) () in
+    let det_a =
+      Protect.protect ~obs:true ~spec:(Iset.precise_spec ()) ~adt:(adt ())
+        Protect.Forward_gk
+    in
+    let det_b =
+      Protect.protect ~obs:true ~spec:(Iset.simple_spec ()) ~adt:(adt ())
+        Protect.Global_lock
+    in
+    let current = ref det_a in
+    let open_txns : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let guards = det_a.Detector.guards @ det_b.Detector.guards in
+    let dispatcher =
+      {
+        Detector.name = "swap(fwd-gk|global-lock)";
+        on_invoke =
+          (fun inv exec ->
+            Hashtbl.replace open_txns inv.Invocation.txn ();
+            !current.Detector.on_invoke inv exec);
+        on_commit =
+          (fun txn ->
+            Hashtbl.remove open_txns txn;
+            (* both: the guard-release/table-drop of whichever detector
+               admitted this transaction's invocations must run; the other
+               side's is a no-op *)
+            det_a.Detector.on_commit txn;
+            det_b.Detector.on_commit txn);
+        on_abort =
+          (fun txn ->
+            Hashtbl.remove open_txns txn;
+            det_a.Detector.on_abort txn;
+            det_b.Detector.on_abort txn);
+        reset =
+          (fun () ->
+            det_a.Detector.reset ();
+            det_b.Detector.reset ());
+        snapshot = det_a.Detector.snapshot;
+        guards;
+      }
+    in
+    let body ops ~det ~txn =
+      List.iter
+        (fun ((m : Invocation.meth), k) ->
+          call ~det ~txn ~undo:(Iset.undo s) m
+            [| Value.Int k |]
+            (fun inv -> Iset.exec s m.Invocation.name inv.Invocation.args))
+        ops
+    in
+    (* The swapper: the server's barrier in miniature.  Each attempt takes
+       every guard of both detectors (Guard.protect_all — acquisition
+       order is globally consistent, and each acquire is a yield point the
+       explorer can interleave against) and flips only at zero open
+       transactions.  Bounded attempts keep the schedule space finite. *)
+    let swapper ~det:_ ~txn:_ =
+      let rec go attempt =
+        let swapped =
+          Guard.protect_all guards (fun () ->
+              if Hashtbl.length open_txns = 0 then begin
+                current := (if !current == det_a then det_b else det_a);
+                on_swap ();
+                true
+              end
+              else false)
+        in
+        if (not swapped) && attempt < 4 then go (attempt + 1)
+      in
+      go 1
+    in
+    let model = Iset.model () in
+    let final () = Value.List (Iset.elements s) in
+    let txn_tasks = Array.map (fun ops -> { Scheduler.body = body ops }) plan in
+    {
+      Scheduler.det = dispatcher;
+      spec = None;
+      tasks = Array.append txn_tasks [| { Scheduler.body = swapper } |];
+      final;
+      oracle = serializability_oracle model final;
+    }
+  in
+  Result.map
+    (fun () ->
+      {
+        w_name = "swap-set";
+        w_detector = "fwd-gk|global-lock";
+        w_txns = txns + 1;
+        make;
+      })
+    (check_scheme ~what:"swap-set" make)
+
+(* ------------------------------------------------------------------ *)
 (* By name                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -221,6 +350,11 @@ let by_name ?txns ?ops_per_txn ?seed name (scheme : Protect.scheme) :
   | "set" -> set ?txns ?ops_per_txn ?seed scheme
   | "kvmap" -> kvmap ?txns ?ops_per_txn ?seed scheme
   | "union-find" | "union_find" -> union_find ?txns ?ops_per_txn ?seed scheme
+  | "swap-set" | "swap_set" ->
+      (* the swap workload fixes its own detector pair; [scheme] names
+         what the rest of the sweep runs and is ignored here *)
+      ignore scheme;
+      swap_set ?txns ?ops_per_txn ?seed ()
   | other ->
       Error
         (Fmt.str "unknown workload %S (expected %s)" other

@@ -25,11 +25,25 @@ open Commlat_runtime
 module Obs = Commlat_obs.Obs
 module Jsonx = Commlat_obs.Jsonx
 
+(** One point of an exposed ADT's lattice chain.  Detectors are built
+    lazily on first entry and cached forever: a level the controller
+    revisits keeps its gatekeeper (whose active table is empty — it was
+    swapped out at a barrier with every transaction committed) and its obs
+    counters, so [Stats] totals stay monotone across swaps. *)
+type level = {
+  l_name : string;
+  l_spec : Spec.t;
+  mutable l_built : (Detector.t * Gatekeeper.t) option;
+}
+
 type exposed = {
   ename : string;
-  det : Detector.t;
-  gk : Gatekeeper.t;
-  fp : Footprint.t;  (** shard-routing keys, from the same spec *)
+  mutable det : Detector.t;  (** current level's detector *)
+  mutable gk : Gatekeeper.t;  (** current level's gatekeeper *)
+  fp : Footprint.t;
+      (** shard-routing keys, always from the {e precise} spec: routing is
+          advisory (it never decides admission), and the precise footprint
+          is the finest, so it stays valid at every coarser level *)
   lookup : string -> Invocation.meth option;
   exec_inv : Invocation.t -> Value.t;
   undo_inv : Invocation.t -> unit;
@@ -37,6 +51,11 @@ type exposed = {
       (** forward/striped gatekeeper: {!Gatekeeper.batch_check}'s
           no-state-reconstruction precondition holds, enabling the
           read-only fast path *)
+  levels : level array;  (** weakest-first: index 0 is the precise spec *)
+  mutable cur : int;  (** index into [levels] *)
+  scheme : Protect.scheme;  (** every level is built under this scheme *)
+  hooks : Gatekeeper.hooks;
+  obs_enabled : bool option;  (** [?obs] to pass when building new levels *)
 }
 
 type t = {
@@ -48,6 +67,8 @@ type t = {
   c_aborts : Obs.counter;
   c_errors : Obs.counter;
   c_ro_fast : Obs.counter;  (** reads admitted by the batch_check path *)
+  c_strengthens : Obs.counter;  (** lattice moves away from precise *)
+  c_weakens : Obs.counter;  (** lattice moves back toward precise *)
 }
 
 (** A successfully executed request whose transaction is still open,
@@ -69,98 +90,248 @@ let meth_finder meths =
 let default_nshards = 16
 let default_uf_elements = 4096
 
-(** [create ()] builds the four exposed ADTs.  [uf_elements] union-find
-    elements are pre-created so wire clients can [union]/[find] on element
-    ids in [\[0, uf_elements)] without a [create] handshake. *)
+(** Partitions per "part" level: hash-coarsened key domains (paper §4.2's
+    partition locking, kept gatekeeper-shaped so the striped/batchable
+    machinery works at every lattice point). *)
+let default_nparts = 8
+
+let hash_part nparts v = Value.Int (Value.hash v mod nparts)
+
+(** Strengthening chain for the kvmap: precise → SIMPLE core (key
+    disequalities) → partition-coarsened keys. *)
+let kvmap_levels () =
+  let simple = Kvmap.simple_spec () in
+  [
+    ("precise", Kvmap.precise_spec ());
+    ("simple", simple);
+    ( "part",
+      Strengthen.partitioned ~adt:"kvmap_part" ~part_name:"part"
+        ~part:(hash_part default_nparts) simple );
+  ]
+
+let set_levels () =
+  [
+    ("precise", Iset.precise_spec ());
+    ("simple", Iset.simple_spec ());
+    ("part", Iset.partitioned_spec ~nparts:default_nparts ());
+  ]
+
+(** The orset's hand spec is already SIMPLE (adds self-commute, only
+    identical tagged pairs conflict), so its chain has a single
+    strengthening: partition-coarsened element/tag disequalities. *)
+let orset_levels () =
+  [
+    ("precise", Orset.spec ());
+    ( "part",
+      Strengthen.partitioned ~adt:"orset_part" ~part_name:"part"
+        ~part:(hash_part default_nparts) (Orset.spec ()) );
+  ]
+
+(** The server's flow-graph network: a [flow_nodes]-node ladder (ring +
+    chords), capacious enough that wire workloads exercise pushes and
+    relabels on arbitrary node pairs without running out of edges. *)
+let flow_nodes = 64
+
+let flow_edges () =
+  let chain = List.init (flow_nodes - 1) (fun i -> (i, i + 1, 1000)) in
+  let chords =
+    List.init (flow_nodes - 8) (fun i -> (i, i + 8, 500))
+  in
+  chain @ chords
+
+let flow_levels () =
+  [
+    ("precise", Flow_graph.spec_rw ());
+    ("simple", Flow_graph.spec_exclusive ());
+    ( "part",
+      Flow_graph.spec_partitioned ~nparts:default_nparts ~n:flow_nodes () );
+  ]
+
+let mk_exposed ?obs ~scheme ~ename ~meths ~exec_inv ~undo_inv ~hooks ~batchable
+    levels : exposed =
+  let levels =
+    Array.of_list
+      (List.map (fun (n, s) -> { l_name = n; l_spec = s; l_built = None }) levels)
+  in
+  let det, gk =
+    Protect.protect_gatekeeper ?obs ~hooks ~spec:levels.(0).l_spec scheme
+  in
+  levels.(0).l_built <- Some (det, gk);
+  {
+    ename;
+    det;
+    gk;
+    fp = Footprint.analyze levels.(0).l_spec;
+    lookup = meth_finder meths;
+    exec_inv;
+    undo_inv;
+    batchable;
+    levels;
+    cur = 0;
+    scheme;
+    hooks;
+    obs_enabled = obs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lattice navigation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let find_exposed (t : t) adt : exposed =
+  match List.assoc_opt adt t.exposed with
+  | Some ex -> ex
+  | None -> invalid_arg (Fmt.str "Engine: unknown adt %S" adt)
+
+(** Every exposed ADT with its chain's level names, weakest-first. *)
+let chains (t : t) : (string * string list) list =
+  List.map
+    (fun (adt, (ex : exposed)) ->
+      (adt, Array.to_list (Array.map (fun lv -> lv.l_name) ex.levels)))
+    t.exposed
+
+let current_level (t : t) adt = (find_exposed t adt).levels.((find_exposed t adt).cur).l_name
+let current_level_index (t : t) adt = (find_exposed t adt).cur
+
+(** The {e current} detector's obs snapshot — what the adaptive controller
+    differences per window (unlike [Stats], which merges every built
+    level so totals stay monotone across swaps). *)
+let level_snapshot (t : t) adt : Obs.snapshot =
+  (find_exposed t adt).det.Detector.snapshot ()
+
+(** Hot-swap one ADT's detector to the chain level at [idx], replaying any
+    live gatekeeper state into the successor.  The caller must guarantee
+    no invocation races with the swap — the server calls this inside an
+    all-workers epoch barrier (where every open transaction has just
+    committed, so the replayed list is empty); single-threaded embedders
+    (tests, the conformance path) may call it between requests.  Levels
+    are built on first entry and cached, so obs counters and [Stats]
+    totals survive revisits. *)
+let set_level (t : t) adt idx =
+  let ex = find_exposed t adt in
+  if idx < 0 || idx >= Array.length ex.levels then
+    invalid_arg
+      (Fmt.str "Engine.set_level: %s has %d levels, got %d" adt
+         (Array.length ex.levels) idx);
+  if idx <> ex.cur then begin
+    let live = Gatekeeper.active_invocations ex.gk in
+    let det, gk =
+      match ex.levels.(idx).l_built with
+      | Some dg -> dg
+      | None ->
+          let dg =
+            Protect.protect_gatekeeper ?obs:ex.obs_enabled ~hooks:ex.hooks
+              ~spec:ex.levels.(idx).l_spec ex.scheme
+          in
+          ex.levels.(idx).l_built <- Some dg;
+          dg
+    in
+    Gatekeeper.adopt gk live;
+    let dir = if idx > ex.cur then t.c_strengthens else t.c_weakens in
+    ex.det <- det;
+    ex.gk <- gk;
+    ex.cur <- idx;
+    Obs.incr dir;
+    Obs.label t.obs ~cat:"adaptive_level"
+      (adt ^ ":" ^ ex.levels.(idx).l_name)
+  end
+
+(** [set_level] by level name; false if the chain has no such level. *)
+let set_level_name (t : t) adt name : bool =
+  let ex = find_exposed t adt in
+  let found = ref false in
+  Array.iteri
+    (fun i lv ->
+      if lv.l_name = name then begin
+        found := true;
+        set_level t adt i
+      end)
+    ex.levels;
+  !found
+
+(** [create ()] builds the five exposed ADTs, each with its lattice chain
+    (weakest-first).  [uf_elements] union-find elements are pre-created so
+    wire clients can [union]/[find] on element ids in [\[0, uf_elements)]
+    without a [create] handshake.  [?level] pins every chain that has a
+    level of that name ("simple", "part") to it at startup — chains
+    without it (union-find has only "precise") are unaffected. *)
 let create ?obs:obs_enabled ?(nshards = default_nshards)
-    ?(uf_elements = default_uf_elements) () : t =
+    ?(uf_elements = default_uf_elements) ?level () : t =
   let sharded = Protect.Sharded (Protect.Forward_gk, nshards) in
   let kv = Kvmap.create () in
-  let kv_spec = Kvmap.precise_spec () in
-  let kv_det, kv_gk =
-    Protect.protect_gatekeeper ?obs:obs_enabled ~hooks:(Kvmap.hooks kv)
-      ~spec:kv_spec sharded
-  in
   let set = Iset.create () in
-  let set_spec = Iset.precise_spec () in
-  let set_det, set_gk =
-    Protect.protect_gatekeeper ?obs:obs_enabled ~hooks:(Iset.hooks set)
-      ~spec:set_spec sharded
-  in
   let ors = Orset.create () in
-  let ors_spec = Orset.spec () in
-  let ors_det, ors_gk =
-    Protect.protect_gatekeeper ?obs:obs_enabled ~hooks:(Orset.hooks ors)
-      ~spec:ors_spec sharded
-  in
   let uf = Union_find.create ~capacity:uf_elements () in
   ignore (Union_find.create_elements uf uf_elements);
-  let uf_spec = Union_find.spec () in
-  let uf_det, uf_gk =
-    Protect.protect_gatekeeper ?obs:obs_enabled ~hooks:(Union_find.hooks uf)
-      ~spec:uf_spec Protect.General_gk
-  in
+  let fg = Flow_graph.of_edges ~n:flow_nodes (flow_edges ()) in
   let obs = Obs.create ?enabled:obs_enabled "serve" in
-  {
-    exposed =
-      [
-        ( "kvmap",
-          {
-            ename = "kvmap";
-            det = kv_det;
-            gk = kv_gk;
-            fp = Footprint.analyze kv_spec;
-            lookup = meth_finder Kvmap.methods;
-            exec_inv =
-              (fun inv ->
-                Kvmap.exec kv inv.Invocation.meth.name inv.Invocation.args);
-            undo_inv = Kvmap.undo kv;
-            batchable = true;
-          } );
-        ( "set",
-          {
-            ename = "set";
-            det = set_det;
-            gk = set_gk;
-            fp = Footprint.analyze set_spec;
-            lookup = meth_finder Iset.methods;
-            exec_inv =
-              (fun inv ->
-                Iset.exec set inv.Invocation.meth.name inv.Invocation.args);
-            undo_inv = Iset.undo set;
-            batchable = true;
-          } );
-        ( "orset",
-          {
-            ename = "orset";
-            det = ors_det;
-            gk = ors_gk;
-            fp = Footprint.analyze ors_spec;
-            lookup = meth_finder Orset.methods;
-            exec_inv = Orset.exec_logged ors;
-            undo_inv = Orset.undo ors;
-            batchable = true;
-          } );
-        ( "union-find",
-          {
-            ename = "union-find";
-            det = uf_det;
-            gk = uf_gk;
-            fp = Footprint.analyze uf_spec;
-            lookup = meth_finder Union_find.methods;
-            exec_inv = Union_find.exec_logged uf;
-            undo_inv = Union_find.undo uf;
-            batchable = false;  (* general gk: conditions reconstruct state *)
-          } );
-      ];
-    orset = ors;
-    obs;
-    c_requests = Obs.counter obs "requests";
-    c_commits = Obs.counter obs "commits";
-    c_aborts = Obs.counter obs "conflict_aborts";
-    c_errors = Obs.counter obs "request_errors";
-    c_ro_fast = Obs.counter obs "ro_fast_path";
-  }
+  let t =
+    {
+      exposed =
+        [
+          ( "kvmap",
+            mk_exposed ?obs:obs_enabled ~scheme:sharded ~ename:"kvmap"
+              ~meths:Kvmap.methods
+              ~exec_inv:(fun inv ->
+                Kvmap.exec kv inv.Invocation.meth.name inv.Invocation.args)
+              ~undo_inv:(Kvmap.undo kv) ~hooks:(Kvmap.hooks kv) ~batchable:true
+              (kvmap_levels ()) );
+          ( "set",
+            mk_exposed ?obs:obs_enabled ~scheme:sharded ~ename:"set"
+              ~meths:Iset.methods
+              ~exec_inv:(fun inv ->
+                Iset.exec set inv.Invocation.meth.name inv.Invocation.args)
+              ~undo_inv:(Iset.undo set) ~hooks:(Iset.hooks set) ~batchable:true
+              (set_levels ()) );
+          ( "orset",
+            mk_exposed ?obs:obs_enabled ~scheme:sharded ~ename:"orset"
+              ~meths:Orset.methods ~exec_inv:(Orset.exec_logged ors)
+              ~undo_inv:(Orset.undo ors) ~hooks:(Orset.hooks ors)
+              ~batchable:true (orset_levels ()) );
+          ( "union-find",
+            mk_exposed ?obs:obs_enabled ~scheme:Protect.General_gk
+              ~ename:"union-find" ~meths:Union_find.methods
+              ~exec_inv:(Union_find.exec_logged uf)
+              ~undo_inv:(Union_find.undo uf) ~hooks:(Union_find.hooks uf)
+              ~batchable:false (* general gk: conditions reconstruct state *)
+              [ ("precise", Union_find.spec ()) ] );
+          ( "flow-graph",
+            mk_exposed ?obs:obs_enabled ~scheme:sharded ~ename:"flow-graph"
+              ~meths:Flow_graph.methods
+              ~exec_inv:(fun inv ->
+                Flow_graph.exec fg inv.Invocation.meth.name inv.Invocation.args)
+              ~undo_inv:(Flow_graph.undo fg)
+              ~hooks:
+                (Gatekeeper.hooks
+                   ~undo:(Flow_graph.undo fg)
+                   ~redo:(fun inv ->
+                     ignore
+                       (Flow_graph.exec fg inv.Invocation.meth.name
+                          inv.Invocation.args))
+                   (fun name _ ->
+                     raise (Formula.Unsupported ("flow-graph sfun " ^ name))))
+              ~batchable:true (flow_levels ()) );
+        ];
+      orset = ors;
+      obs;
+      c_requests = Obs.counter obs "requests";
+      c_commits = Obs.counter obs "commits";
+      c_aborts = Obs.counter obs "conflict_aborts";
+      c_errors = Obs.counter obs "request_errors";
+      c_ro_fast = Obs.counter obs "ro_fast_path";
+      c_strengthens = Obs.counter obs "adaptive_strengthens";
+      c_weakens = Obs.counter obs "adaptive_weakens";
+    }
+  in
+  (match level with
+  | None -> ()
+  | Some name ->
+      List.iter
+        (fun (adt, (ex : exposed)) ->
+          Array.iteri
+            (fun i lv -> if lv.l_name = name then set_level t adt i)
+            ex.levels)
+        t.exposed);
+  t
 
 let exposed_names t = List.map fst t.exposed
 let orset_handle t = t.orset
@@ -225,7 +396,13 @@ let try_invoke (t : t) ~id adt meth args : outcome =
       | Some m -> (
           let ro = (not m.Invocation.mutates) && not m.Invocation.concrete in
           match
-            if ro && ex.batchable then try_ro_fast t ex ~id m args else None
+            if ro && ex.batchable then
+              (* same containment contract as the transactional arm below:
+                 a malformed argument raised by the (effect-free) method
+                 body answers an error frame instead of escaping [handle] *)
+              try try_ro_fast t ex ~id m args
+              with e -> Some (err t id "%s.%s: %s" adt meth (Printexc.to_string e))
+            else None
           with
           | Some outcome -> outcome
           | None -> (
@@ -249,12 +426,19 @@ let try_invoke (t : t) ~id adt meth args : outcome =
                   abort_atomically p;
                   err t id "%s.%s: %s" adt meth (Printexc.to_string e))))
 
-(** One merged snapshot: the engine's own counters plus every exposed
-    detector's registry. *)
+(** One merged snapshot: the engine's own counters plus every {e built}
+    lattice level's detector registry for every exposed ADT — levels keep
+    their counters when swapped out, so [Stats] totals stay monotone
+    across adaptive hot-swaps. *)
 let snapshot_json_string (t : t) : string =
   let snaps =
     Obs.snapshot t.obs
-    :: List.map (fun (_, ex) -> ex.det.Detector.snapshot ()) t.exposed
+    :: List.concat_map
+         (fun (_, (ex : exposed)) ->
+           Array.to_list ex.levels
+           |> List.filter_map (fun lv ->
+                  Option.map (fun ((d : Detector.t), _) -> d.snapshot ()) lv.l_built))
+         t.exposed
   in
   Jsonx.to_string (Obs.snapshot_to_json (Obs.merge "serve" snaps))
 

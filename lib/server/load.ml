@@ -25,30 +25,36 @@
     - [Non_commuting]: kvmap [put] of random values on Zipf-hot keys
       plus 10% [size] — same-key puts with different values and
       domain-size reads are spec-refused, so contention is real, not an
-      artifact of the implementation. *)
+      artifact of the implementation.
+    - [Put]: kvmap [put] whose value is a pure function of the key —
+      commutes under the precise spec in steady state but not under the
+      coarsened ones.  The phase-shifting adaptive experiment's driver
+      (see {!default_phases}). *)
 
 open Commlat_core
 module Histo = Commlat_obs.Histo
 module Jsonx = Commlat_obs.Jsonx
 
-type mix = Read_heavy | Write_heavy | Commuting | Non_commuting
+type mix = Read_heavy | Write_heavy | Commuting | Non_commuting | Put
 
 let mix_name = function
   | Read_heavy -> "read-heavy"
   | Write_heavy -> "write-heavy"
   | Commuting -> "commuting"
   | Non_commuting -> "non-commuting"
+  | Put -> "put"
 
 let mix_of_string = function
   | "read-heavy" -> Ok Read_heavy
   | "write-heavy" -> Ok Write_heavy
   | "commuting" -> Ok Commuting
   | "non-commuting" -> Ok Non_commuting
+  | "put" -> Ok Put
   | s ->
       Error
         (Fmt.str
            "unknown mix %S (expected read-heavy, write-heavy, commuting, \
-            non-commuting)"
+            non-commuting, put)"
            s)
 
 let all_mixes = [ Read_heavy; Write_heavy; Commuting; Non_commuting ]
@@ -62,6 +68,13 @@ type config = {
   theta : float;  (** Zipf exponent; 0 = uniform *)
   seed : int;
   mix : mix;
+  burst : int;
+      (** arrival burstiness: requests are scheduled in groups of [burst]
+          at the same instant (aggregate rate unchanged).  [1] = evenly
+          spaced.  Bursts are what fill server epochs: a worker that
+          drains one request at a time never has two transactions open,
+          so commutativity checks (and refusals) only happen when
+          arrivals cluster. *)
 }
 
 let default_config =
@@ -74,6 +87,7 @@ let default_config =
     theta = 0.99;
     seed = 42;
     mix = Read_heavy;
+    burst = 1;
   }
 
 type result = {
@@ -146,6 +160,17 @@ let request_of cfg cdf st ~op : Wire.req =
           { id = op; adt = "kvmap"; meth = "put";
             args = [| key (); Value.Int (Random.State.bits st) |] }
       else Wire.Invoke { id = op; adt = "kvmap"; meth = "size"; args = [||] }
+  | Put ->
+      (* the value is a pure function of the key, so in steady state every
+         same-key pair of these puts satisfies the precise kvmap put;put
+         condition (equal values, equal returned old bindings) but violates
+         the SIMPLE/partitioned coarsenings (same key).  Zipf-hot keys under
+         this mix are exactly the workload where weakening toward the
+         precise spec pays. *)
+      let k = zipf_sample cdf st in
+      Wire.Invoke
+        { id = op; adt = "kvmap"; meth = "put";
+          args = [| Value.Int k; Value.Int ((2 * k) + 1) |] }
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                         *)
@@ -208,8 +233,15 @@ let run (cfg : config) : result =
   let sent = Atomic.make 0 in
   let completed = Atomic.make 0 in
   let errors = Atomic.make 0 in
+  if cfg.burst < 1 then invalid_arg "Load.run: burst must be >= 1";
   let t0 = now () +. 0.05 (* let every sender arm before the first slot *) in
-  let sched_of op = t0 +. (float_of_int op /. cfg.rate) in
+  (* burst > 1 quantizes the schedule: ops [k*burst, (k+1)*burst) share
+     slot k.  The receiver recovers the same instant from the op id, so
+     latency still measures from the scheduled arrival. *)
+  let sched_of op =
+    t0
+    +. float_of_int (op / cfg.burst) *. (float_of_int cfg.burst /. cfg.rate)
+  in
   let conn_threads =
     List.init cfg.conns (fun c ->
         let fd = connect cfg.addr in
@@ -272,6 +304,52 @@ let run (cfg : config) : result =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Phase-shifting sweep                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** One segment of a phase-shifting run: the same server, a different
+    workload regime.  The three default phases are chosen so that each
+    favours a different lattice point (see DESIGN.md §12):
+    commuting-heavy uniform puts (checks dominate → strengthen pays),
+    hot-key contention where the coarsened specs refuse what the precise
+    one admits (→ weaken pays), then a read-heavy tail. *)
+type phase = {
+  p_name : string;
+  p_mix : mix;
+  p_theta : float;
+  p_keys : int;
+  p_duration : float;
+  p_burst : int;
+}
+
+let default_phases ?(burst = 32) ~duration () =
+  [
+    { p_name = "commuting"; p_mix = Put; p_theta = 0.0; p_keys = 50_000;
+      p_duration = duration; p_burst = burst };
+    { p_name = "hot-key"; p_mix = Put; p_theta = 1.2; p_keys = 512;
+      p_duration = duration; p_burst = burst };
+    { p_name = "read-heavy"; p_mix = Read_heavy; p_theta = 0.5;
+      p_keys = 50_000; p_duration = duration; p_burst = burst };
+  ]
+
+(** Run the phases back to back against one live server (same detector
+    state throughout — that continuity is the point: an adaptive server
+    must renavigate the lattice as the regime under it shifts).  Returns
+    [(phase, result)] in order; each result's [server_obs] is the
+    {e cumulative} server snapshot at the end of that phase, so per-phase
+    counter deltas are the caller's subtraction. *)
+let run_phases (cfg : config) (phases : phase list) : (phase * result) list =
+  List.map
+    (fun p ->
+      let r =
+        run
+          { cfg with mix = p.p_mix; theta = p.p_theta; keys = p.p_keys;
+            duration = p.p_duration; burst = p.p_burst }
+      in
+      (p, r))
+    phases
+
+(* ------------------------------------------------------------------ *)
 (* BENCH row                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -299,6 +377,7 @@ let row_json ~(cfg : config) ~domains (r : result) : Jsonx.t =
       ("duration_s", Jsonx.Float cfg.duration);
       ("keys", Jsonx.Int cfg.keys);
       ("zipf_theta", Jsonx.Float cfg.theta);
+      ("burst", Jsonx.Int cfg.burst);
       ("sent", Jsonx.Int r.sent);
       ("completed", Jsonx.Int r.completed);
       ("errors", Jsonx.Int r.errors);
@@ -318,20 +397,24 @@ let row_json ~(cfg : config) ~domains (r : result) : Jsonx.t =
 
 (** Spawn [exe serve] as a child process on a fresh Unix socket, wait for
     the socket to accept, run [f addr], send [Quit], and reap the child.
-    Returns [f]'s result and the child's exit status — a nonzero server
-    exit must fail the benchmark run. *)
+    [extra_args] are appended to the child's argv verbatim (e.g.
+    [["--adaptive"]] or [["--level"; "precise"]]).  Returns [f]'s result
+    and the child's exit status — a nonzero server exit must fail the
+    benchmark run. *)
 let with_server ~exe ~domains ?(nshards = Engine.default_nshards) ?(batch = 64)
-    (f : Server.addr -> 'a) : 'a * Unix.process_status =
+    ?(extra_args = []) (f : Server.addr -> 'a) : 'a * Unix.process_status =
   let path =
     Filename.temp_file "commlat-serve-" ".sock" |> fun p ->
     Sys.remove p;
     p
   in
   let argv =
-    [|
-      exe; "serve"; "--socket"; path; "--domains"; string_of_int domains;
-      "--shards"; string_of_int nshards; "--batch"; string_of_int batch;
-    |]
+    Array.of_list
+      ([
+         exe; "serve"; "--socket"; path; "--domains"; string_of_int domains;
+         "--shards"; string_of_int nshards; "--batch"; string_of_int batch;
+       ]
+      @ extra_args)
   in
   let pid = Unix.create_process exe argv Unix.stdin Unix.stdout Unix.stderr in
   let deadline = now () +. 10.0 in

@@ -44,6 +44,14 @@ type config = {
   max_retries : int;  (** conflict retries before an [Err] reply *)
   nshards : int;  (** detector shards per exposed ADT *)
   verbose : bool;
+  adaptive : bool;  (** run the online lattice controller (DESIGN.md §12) *)
+  level : string option;
+      (** pin every chain that has a level of this name ("simple",
+          "part"); mutually exclusive with [adaptive] *)
+  tick : float;  (** controller observation-window length, seconds *)
+  strengthen_above : float;  (** checks-per-invocation strengthen threshold *)
+  weaken_above : float;  (** abort-ratio weaken threshold *)
+  cooldown : int;  (** observation windows held after a transition *)
 }
 
 let default_config =
@@ -54,6 +62,12 @@ let default_config =
     max_retries = 64;
     nshards = Engine.default_nshards;
     verbose = false;
+    adaptive = false;
+    level = None;
+    tick = 0.05;
+    strengthen_above = 2.0;
+    weaken_above = 0.05;
+    cooldown = 3;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -88,11 +102,12 @@ let queue_push qu j =
       Queue.push j qu.q;
       Condition.signal qu.cv)
 
-(* Pop up to [n] jobs; blocks while empty unless [stop] is set.  Returns
-   [] only when stopping and empty. *)
-let queue_drain qu ~stop n =
+(* Pop up to [n] jobs; blocks while empty unless [stop] is set or
+   [unblock ()] holds (a swap barrier is pending and this worker must go
+   participate).  Returns [] when woken empty. *)
+let queue_drain qu ~stop ~unblock n =
   Mutex.protect qu.mu (fun () ->
-      while Queue.is_empty qu.q && not (Atomic.get stop) do
+      while Queue.is_empty qu.q && (not (Atomic.get stop)) && not (unblock ()) do
         Condition.wait qu.cv qu.mu
       done;
       let rec take k acc =
@@ -102,6 +117,91 @@ let queue_drain qu ~stop n =
       take n [])
 
 let wake_all qu = Mutex.protect qu.mu (fun () -> Condition.broadcast qu.cv)
+
+(* ------------------------------------------------------------------ *)
+(* The swap gate                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* An all-workers rendezvous at which detector hot-swaps run (DESIGN.md
+   §12).  The controller posts a thunk; every worker, on reaching its next
+   epoch boundary (all its transactions just committed, so no gatekeeper
+   holds live state for it), parks here; the last arriver executes the
+   thunk and releases everyone.  Reader threads are not involved — they
+   only answer Stats/Ping inline and route invokes to workers, so the
+   swap never waits on a slow client.
+
+   Liveness: the barrier always completes because workers never exit
+   while a request is posted — shutdown is two-phase ([stop] silences the
+   poster and is joined first; [stop_workers] is set only after, when no
+   request can be in flight). *)
+type gate = {
+  g_mu : Mutex.t;
+  g_cv : Condition.t;
+  mutable g_req : (unit -> unit) option;
+  mutable g_waiting : int;  (** workers parked at the barrier *)
+  mutable g_gen : int;  (** barrier generation, bumped on release *)
+  g_workers : int;
+}
+
+let gate_create ~workers =
+  {
+    g_mu = Mutex.create ();
+    g_cv = Condition.create ();
+    g_req = None;
+    g_waiting = 0;
+    g_gen = 0;
+    g_workers = workers;
+  }
+
+(* Is a swap pending?  Used as the queues' [unblock] predicate; takes the
+   gate mutex so a worker can never miss a freshly posted request. *)
+let gate_pending (g : gate) () =
+  Mutex.protect g.g_mu (fun () -> g.g_req <> None)
+
+(* Worker side: called at every epoch boundary (after [flush_epoch], so
+   the calling worker holds zero open transactions). *)
+let gate_check (g : gate) =
+  Mutex.protect g.g_mu (fun () ->
+      match g.g_req with
+      | None -> ()
+      | Some _ ->
+          g.g_waiting <- g.g_waiting + 1;
+          if g.g_waiting = g.g_workers then begin
+            (* every worker is quiescent: run the swap *)
+            (match g.g_req with
+            | Some thunk -> ( try thunk () with _ -> ())
+            | None -> ());
+            g.g_req <- None;
+            g.g_waiting <- 0;
+            g.g_gen <- g.g_gen + 1;
+            Condition.broadcast g.g_cv
+          end
+          else begin
+            let gen = g.g_gen in
+            while g.g_gen = gen do
+              Condition.wait g.g_cv g.g_mu
+            done
+          end)
+
+(* Controller side: post a thunk, wake every worker queue, wait for the
+   barrier to run it.  [stop] aborts the post (and the wait for a slot)
+   during shutdown. *)
+let gate_post (g : gate) ~stop ~queues thunk =
+  Mutex.lock g.g_mu;
+  while g.g_req <> None && not (Atomic.get stop) do
+    Condition.wait g.g_cv g.g_mu
+  done;
+  if Atomic.get stop then Mutex.unlock g.g_mu
+  else begin
+    g.g_req <- Some thunk;
+    Mutex.unlock g.g_mu;
+    Array.iter wake_all queues;
+    Mutex.lock g.g_mu;
+    while g.g_req <> None do
+      Condition.wait g.g_cv g.g_mu
+    done;
+    Mutex.unlock g.g_mu
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Worker domains                                                      *)
@@ -158,7 +258,7 @@ let backoff_sleep attempt =
     Unix.sleepf (1e-6 *. float_of_int (1 lsl exp))
   end
 
-let worker ~eng ~qu ~stop ~pending ~max_retries ~batch () =
+let worker ~eng ~qu ~stop ~gate ~pending ~max_retries ~batch () =
   let ep = epoch_create () in
   let run_job job =
     let rec attempt n =
@@ -191,12 +291,17 @@ let worker ~eng ~qu ~stop ~pending ~max_retries ~batch () =
           (Wire.Err (Wire.req_id job.req, "internal error: " ^ Printexc.to_string e)));
     ignore (Atomic.fetch_and_add pending (-1))
   in
+  let unblock = gate_pending gate in
   let rec loop () =
-    match queue_drain qu ~stop batch with
-    | [] -> flush_epoch eng ep (* stopping and drained: exit *)
+    match queue_drain qu ~stop ~unblock batch with
+    | [] when Atomic.get stop && not (unblock ()) ->
+        flush_epoch eng ep (* stopping, drained, no swap pending: exit *)
     | jobs ->
         List.iter run_job jobs;
         flush_epoch eng ep;
+        (* epoch boundary: all this worker's transactions are committed —
+           participate in any pending detector swap *)
+        gate_check gate;
         loop ()
   in
   loop ()
@@ -248,6 +353,79 @@ let reader ~eng ~queues ~rr ~stop ~pending conn () =
     loop
 
 (* ------------------------------------------------------------------ *)
+(* The adaptive controller                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One systhread: every [tick] seconds, difference each multi-level
+   chain's current-detector obs snapshot into an
+   {!Commlat_runtime.Adaptive.signals} window, feed its hysteresis
+   controller, and — when any verdict moves — post one gate thunk that
+   applies every due {!Engine.set_level}.  Baseline snapshots are
+   re-taken inside the thunk (the successor detector's counters differ
+   from the predecessor's), so the next window differences the detector
+   actually installed. *)
+let controller_loop ~eng ~gate ~queues ~stop (cfg : config) () =
+  let module Adaptive = Commlat_runtime.Adaptive in
+  let policy =
+    Adaptive.Online
+      {
+        strengthen_above = cfg.strengthen_above;
+        weaken_above = cfg.weaken_above;
+        cooldown = cfg.cooldown;
+      }
+  in
+  let ctrls =
+    List.filter_map
+      (fun (adt, levels) ->
+        if List.length levels < 2 then None
+        else
+          Some (adt, Adaptive.controller ~policy levels,
+                ref (Engine.level_snapshot eng adt)))
+      (Engine.chains eng)
+  in
+  while not (Atomic.get stop) do
+    Thread.delay cfg.tick;
+    if not (Atomic.get stop) then begin
+      let moves =
+        List.filter_map
+          (fun (adt, ctrl, prev) ->
+            let snap = Engine.level_snapshot eng adt in
+            let d name =
+              max 0 (Obs.counter_value snap name - Obs.counter_value !prev name)
+            in
+            let signals =
+              {
+                Adaptive.no_signals with
+                Adaptive.s_invocations = d "invocations";
+                s_conflicts = d "conflicts";
+                s_checks = d "checks";
+                s_checks_avoided = d "checks_avoided";
+                s_lock_denials = d "lock_denials";
+              }
+            in
+            prev := snap;
+            match Adaptive.observe ctrl signals with
+            | Adaptive.Hold -> None
+            | Adaptive.Strengthen | Adaptive.Weaken ->
+                Some (adt, Adaptive.current ctrl, prev))
+          ctrls
+      in
+      if moves <> [] then
+        gate_post gate ~stop ~queues (fun () ->
+            List.iter
+              (fun (adt, idx, prev) ->
+                Engine.set_level eng adt idx;
+                prev := Engine.level_snapshot eng adt)
+              moves);
+      if cfg.verbose then
+        List.iter
+          (fun (adt, idx, _) ->
+            Fmt.epr "commlat serve: %s -> level %d@." adt idx)
+          moves
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Listener                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -274,23 +452,44 @@ let listen_socket addr =
     callers can inspect final counters).  Blocking. *)
 let run (cfg : config) : Engine.t =
   if cfg.domains < 1 then invalid_arg "Server.run: domains must be >= 1";
-  let eng = Engine.create ~nshards:cfg.nshards () in
+  if cfg.adaptive && cfg.level <> None then
+    invalid_arg "Server.run: --adaptive and --level are mutually exclusive";
+  let eng =
+    (* the controller is blind without counters, so adaptive mode forces
+       the obs registry on regardless of the COMMLAT_OBS toggle *)
+    if cfg.adaptive then
+      Engine.create ~obs:true ~nshards:cfg.nshards ()
+    else Engine.create ~nshards:cfg.nshards ?level:cfg.level ()
+  in
   let stop = Atomic.make false in
+  (* two-phase shutdown: [stop] silences the accept loop and the adaptive
+     controller; [stop_workers] is raised only after the controller has
+     been joined, so no swap barrier can be posted once workers are
+     allowed to exit — which is what guarantees every posted barrier
+     completes (all workers stay alive until then) *)
+  let stop_workers = Atomic.make false in
   let pending = Atomic.make 0 in
   let rr = Atomic.make 0 in
   let queues = Array.init cfg.domains (fun _ -> queue_create ()) in
+  let gate = gate_create ~workers:cfg.domains in
   let workers =
     Array.mapi
       (fun _i qu ->
         Domain.spawn
-          (worker ~eng ~qu ~stop ~pending ~max_retries:cfg.max_retries
-             ~batch:cfg.batch))
+          (worker ~eng ~qu ~stop:stop_workers ~gate ~pending
+             ~max_retries:cfg.max_retries ~batch:cfg.batch))
       queues
+  in
+  let ctrl =
+    if cfg.adaptive then
+      Some (Thread.create (controller_loop ~eng ~gate ~queues ~stop cfg) ())
+    else None
   in
   let lsock = listen_socket cfg.addr in
   if cfg.verbose then
-    Fmt.pr "commlat serve: listening on %a (%d domains, batch %d)@."
-      pp_addr cfg.addr cfg.domains cfg.batch;
+    Fmt.pr "commlat serve: listening on %a (%d domains, batch %d%s)@."
+      pp_addr cfg.addr cfg.domains cfg.batch
+      (if cfg.adaptive then ", adaptive" else "");
   (* accept with a timeout so the loop observes [stop] *)
   while not (Atomic.get stop) do
     match Unix.select [ lsock ] [] [] 0.1 with
@@ -303,7 +502,12 @@ let run (cfg : config) : Engine.t =
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
     | _ -> ()
   done;
-  (* drain: workers exit once their queues are empty and [stop] is set *)
+  (* phase 1: retire the controller.  Any barrier it posted completes
+     normally (workers are still running), after which it observes [stop]
+     within one tick and exits. *)
+  Option.iter Thread.join ctrl;
+  (* phase 2: workers exit once their queues are empty *)
+  Atomic.set stop_workers true;
   Array.iter wake_all queues;
   Array.iter Domain.join workers;
   (* a reader racing [Quit] may have enqueued after its worker exited:

@@ -7,6 +7,8 @@ open Commlat_runtime
 open Commlat_apps
 
 let check_bool = Alcotest.(check bool)
+let offline ?(processors = 4) sample_size =
+  Adaptive.Offline_sample { processors; sample_size }
 
 (* Candidates for the set microbenchmark on a contended input. *)
 let set_candidate scheme n classes : Set_micro.op Adaptive.candidate =
@@ -60,14 +62,16 @@ let test_picks_the_cheap_candidate () =
     }
   in
   let decision, stats =
-    Adaptive.run ~processors:4 ~sample_size:128 [ mk "slow" true; mk "fast" false ]
+    Adaptive.run ~policy:(offline 128) [ mk "slow" true; mk "fast" false ]
   in
   Alcotest.(check string) "winner" "fast" decision.Adaptive.winner.Adaptive.name;
+  check_bool "offline decisions carry no transitions" true
+    (decision.Adaptive.transitions = []);
   check_bool "full run completed" true (stats.Executor.committed = 512)
 
 let test_scores_all_candidates () =
   let candidates = List.map (fun s -> set_candidate s 500 0) Set_micro.all_schemes in
-  let decision = Adaptive.choose ~processors:4 ~sample_size:100 candidates in
+  let decision = Adaptive.choose ~policy:(offline 100) candidates in
   Alcotest.(check int)
     "one score per candidate"
     (List.length Set_micro.all_schemes)
@@ -94,12 +98,13 @@ let test_duplicate_names_rejected () =
   Alcotest.check_raises "duplicate names"
     (Invalid_argument "Adaptive.choose: duplicate candidate name \"twin\"")
     (fun () ->
-      ignore (Adaptive.choose ~sample_size:3 [ trivial "twin"; trivial "twin" ]))
+      ignore
+        (Adaptive.choose ~policy:(offline 3) [ trivial "twin"; trivial "twin" ]))
 
 let test_empty_name_rejected () =
   Alcotest.check_raises "empty name"
     (Invalid_argument "Adaptive.choose: empty candidate name") (fun () ->
-      ignore (Adaptive.choose ~sample_size:3 [ trivial "" ]))
+      ignore (Adaptive.choose ~policy:(offline 3) [ trivial "" ]))
 
 let test_scores_are_per_candidate () =
   (* the slow candidate must carry the worse score even though scoring no
@@ -118,7 +123,7 @@ let test_scores_are_per_candidate () =
           (det, operator, List.init 256 Fun.id));
     }
   in
-  let d = Adaptive.choose ~sample_size:128 [ mk "slow" true; mk "fast" false ] in
+  let d = Adaptive.choose ~policy:(offline 128) [ mk "slow" true; mk "fast" false ] in
   let score n = List.assoc n d.Adaptive.scores in
   check_bool "slow candidate scored worse" true (score "slow" > score "fast");
   Alcotest.(check string) "winner" "fast" d.Adaptive.winner.Adaptive.name
@@ -160,7 +165,7 @@ let test_boruvka_adaptive () =
     }
   in
   let decision, stats =
-    Adaptive.run ~processors:4 ~sample_size:32 [ mk "uf-gk" `Gk; mk "uf-ml" `Ml ]
+    Adaptive.run ~policy:(offline 32) [ mk "uf-gk" `Gk; mk "uf-ml" `Ml ]
   in
   ignore stats;
   ignore decision;
@@ -168,6 +173,99 @@ let test_boruvka_adaptive () =
     "mst weight"
     (Reference.mst_weight ~n:mesh.Mesh.nodes mesh.Mesh.edges)
     (Boruvka.mst_weight !result)
+
+(* ---------------------------------------------------------------- *)
+(* The online hysteresis controller, on synthetic signal streams      *)
+(* ---------------------------------------------------------------- *)
+
+let policy = Adaptive.Online { strengthen_above = 2.0; weaken_above = 0.1; cooldown = 2 }
+
+let window ?(inv = 1000) ?(conflicts = 0) ?(checks = 0) () =
+  {
+    Adaptive.no_signals with
+    Adaptive.s_invocations = inv;
+    s_conflicts = conflicts;
+    s_checks = checks;
+  }
+
+let test_controller_strengthens_on_check_cost () =
+  let c = Adaptive.controller ~policy [ "precise"; "simple"; "part" ] in
+  Alcotest.(check string) "starts precise" "precise" (Adaptive.current_level c);
+  (* conflict-free but check-heavy: 5 checks per invocation *)
+  let v = Adaptive.observe c (window ~checks:5000 ()) in
+  check_bool "strengthens" true (v = Adaptive.Strengthen);
+  Alcotest.(check string) "moved to simple" "simple" (Adaptive.current_level c);
+  (* cooldown: the next check-heavy window must hold *)
+  let v = Adaptive.observe c (window ~checks:5000 ()) in
+  check_bool "cooldown holds" true (v = Adaptive.Hold);
+  (* cooldown expired: climbs to the coarsest level and stays there *)
+  let v = Adaptive.observe c (window ~checks:5000 ()) in
+  check_bool "second strengthen" true (v = Adaptive.Strengthen);
+  Alcotest.(check string) "at part" "part" (Adaptive.current_level c);
+  for _ = 1 to 5 do
+    let v = Adaptive.observe c (window ~checks:5000 ()) in
+    check_bool "no level above part" true (v = Adaptive.Hold)
+  done
+
+let test_controller_weakens_on_aborts () =
+  let c = Adaptive.controller ~policy [ "precise"; "simple" ] in
+  ignore (Adaptive.observe c (window ~checks:5000 ()));
+  Alcotest.(check string) "strengthened" "simple" (Adaptive.current_level c);
+  (* abort ratio 0.3 > 0.1: weaken immediately, cooldown notwithstanding *)
+  let v = Adaptive.observe c (window ~conflicts:300 ~checks:100 ()) in
+  check_bool "weakens" true (v = Adaptive.Weaken);
+  Alcotest.(check string) "back to precise" "precise" (Adaptive.current_level c);
+  let ts = Adaptive.transitions c in
+  Alcotest.(check int) "two transitions" 2 (List.length ts);
+  check_bool "first is strengthen" true
+    ((List.hd ts).Adaptive.t_verdict = Adaptive.Strengthen);
+  check_bool "second is weaken" true
+    ((List.nth ts 1).Adaptive.t_verdict = Adaptive.Weaken)
+
+let test_controller_hysteresis_no_thrash () =
+  (* a steady phase where the strong level aborts and the weak level is
+     check-heavy: after one weaken, the controller must NOT strengthen
+     back while the workload still looks hot (the burned level) *)
+  let c = Adaptive.controller ~policy [ "precise"; "simple" ] in
+  ignore (Adaptive.observe c (window ~checks:5000 ()));
+  ignore (Adaptive.observe c (window ~conflicts:300 ()));
+  Alcotest.(check string) "weakened" "precise" (Adaptive.current_level c);
+  (* check-heavy windows with a trickle of conflicts: simple stays burned *)
+  for _ = 1 to 10 do
+    let v = Adaptive.observe c (window ~conflicts:1 ~checks:5000 ()) in
+    check_bool "holds at precise" true (v = Adaptive.Hold)
+  done;
+  Alcotest.(check int) "exactly two transitions" 2
+    (List.length (Adaptive.transitions c));
+  (* calm windows clear the burn; a later check-heavy phase may strengthen *)
+  for _ = 1 to 3 do
+    ignore (Adaptive.observe c (window ~checks:100 ()))
+  done;
+  let v = Adaptive.observe c (window ~checks:5000 ()) in
+  check_bool "re-strengthens after calm" true (v = Adaptive.Strengthen)
+
+let test_controller_idle_holds () =
+  let c = Adaptive.controller ~policy [ "precise"; "simple" ] in
+  for _ = 1 to 5 do
+    let v = Adaptive.observe c (window ~inv:0 ()) in
+    check_bool "idle window holds" true (v = Adaptive.Hold)
+  done;
+  Alcotest.(check int) "no transitions" 0 (List.length (Adaptive.transitions c))
+
+let test_controller_rejects_bad_args () =
+  Alcotest.check_raises "offline policy rejected"
+    (Invalid_argument "Adaptive.controller: needs an Online policy") (fun () ->
+      ignore (Adaptive.controller ~policy:(offline 8) [ "a"; "b" ]));
+  Alcotest.check_raises "single level rejected"
+    (Invalid_argument "Adaptive.controller: needs at least two levels")
+    (fun () -> ignore (Adaptive.controller [ "only" ]));
+  Alcotest.check_raises "online choose rejected"
+    (Invalid_argument
+       "Adaptive.choose: Online policy has no sampling phase (drive a \
+        controller with observe instead)") (fun () ->
+      ignore
+        (Adaptive.choose ~policy:Adaptive.default_online
+           ([] : unit Adaptive.candidate list)))
 
 let suite =
   [
@@ -182,4 +280,14 @@ let suite =
       test_scores_are_per_candidate;
     Alcotest.test_case "boruvka adaptive run is correct" `Quick
       test_boruvka_adaptive;
+    Alcotest.test_case "controller strengthens on check cost" `Quick
+      test_controller_strengthens_on_check_cost;
+    Alcotest.test_case "controller weakens on aborts" `Quick
+      test_controller_weakens_on_aborts;
+    Alcotest.test_case "controller hysteresis does not thrash" `Quick
+      test_controller_hysteresis_no_thrash;
+    Alcotest.test_case "controller holds when idle" `Quick
+      test_controller_idle_holds;
+    Alcotest.test_case "controller rejects bad arguments" `Quick
+      test_controller_rejects_bad_args;
   ]

@@ -459,7 +459,7 @@ let test_batch_check () =
     (fun compiled ->
       let set = Iset.create () in
       let det, gk =
-        Gatekeeper.forward ~compiled ~hooks:(Iset.hooks set)
+        Gatekeeper.Private.forward ~compiled ~hooks:(Iset.hooks set)
           (Iset.precise_spec ())
       in
       check_bool "is_compiled reflects the flag" compiled

@@ -448,6 +448,162 @@ let test_stress_retries_and_stealing () =
   check_bool "abort count non-negative" true (s.Executor.aborted >= 0)
 
 (* ------------------------------------------------------------- *)
+(* Mid-run detector swap (adaptive hot-swap, executor level)      *)
+(* ------------------------------------------------------------- *)
+
+(* The server's adaptive controller replaces an ADT's detector at a
+   quiescent point (every transaction committed).  The executor-level
+   equivalent: run half the workload under scheme A, let run_domains
+   quiesce, hand the SAME ADT to a detector built from scheme B, run the
+   rest — for every ordered scheme pair that can protect the ADT, at 1, 2
+   and 8 domains.  Since set union is confluent, any sound pair of
+   detectors must land on exactly the sequential final state; a detector
+   whose conflict decisions leak across the swap (stale active tables,
+   locks surviving the handoff) shows up as lost or duplicated effects. *)
+
+let swap_schemes : (string * (Iset.t -> Detector.t)) list =
+  [
+    ( "global-lock",
+      fun _ ->
+        Protect.protect ~spec:(Iset.exclusive_spec ()) ~adt:(Protect.adt ())
+          Protect.Global_lock );
+    ( "abslock",
+      fun _ ->
+        Protect.protect ~spec:(Iset.simple_spec ()) ~adt:(Protect.adt ())
+          Protect.Abstract_lock );
+    ( "fwd-gk",
+      fun set ->
+        Protect.protect ~spec:(Iset.precise_spec ())
+          ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+          Protect.Forward_gk );
+    ( "fwd-gk-sharded",
+      fun set ->
+        Protect.protect ~spec:(Iset.precise_spec ())
+          ~adt:(Protect.adt ~hooks:(Iset.hooks set) ())
+          (Protect.Sharded (Protect.Forward_gk, 8)) );
+  ]
+
+let test_mid_run_swap_equivalence () =
+  let reference =
+    let set = Iset.create () in
+    let det = (List.assoc "fwd-gk" swap_schemes) set in
+    ignore
+      (Executor.run_sequential ~detector:det ~operator:(set_operator set det)
+         set_items);
+    sorted_elements set
+  in
+  let half = List.length set_items / 2 in
+  let first = List.filteri (fun i _ -> i < half) set_items in
+  let second = List.filteri (fun i _ -> i >= half) set_items in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (na, mka) ->
+          List.iter
+            (fun (nb, mkb) ->
+              let set = Iset.create () in
+              let det_a = mka set in
+              let s1 =
+                Executor.run_domains ~domains:d ~detector:det_a
+                  ~operator:(fun det txn v -> set_operator set det txn v)
+                  first
+              in
+              (* run_domains has quiesced: zero open transactions — the
+                 same precondition the server's swap barrier establishes *)
+              let det_b = mkb set in
+              let s2 =
+                Executor.run_domains ~domains:d ~detector:det_b
+                  ~operator:(fun det txn v -> set_operator set det txn v)
+                  second
+              in
+              check_int
+                (Fmt.str "%s->%s @ %d domains: all committed" na nb d)
+                (List.length set_items)
+                (s1.Executor.committed + s2.Executor.committed);
+              check_bool
+                (Fmt.str "%s->%s @ %d domains: final state = sequential" na nb
+                   d)
+                true
+                (sorted_elements set = reference))
+            swap_schemes)
+        swap_schemes)
+    domain_counts
+
+(* Same protocol for the GENERAL end of the lattice: union-find under the
+   general gatekeeper, swapped mid-run to the STM baseline (and back),
+   sharing one structure.  The union set is fixed, so the final partition
+   must match a plain sequential fold whatever the detector or order. *)
+let test_mid_run_swap_uf_gen_gk_stm () =
+  let elements = 16 in
+  let unions = List.init 24 (fun i -> (i mod elements, ((i * 7) + 3) mod elements)) in
+  let same_set_matrix same_set =
+    List.concat_map
+      (fun a -> List.map (fun b -> same_set a b) (List.init elements Fun.id))
+      (List.init elements Fun.id)
+  in
+  let reference =
+    let uf = Union_find.create () in
+    ignore (Union_find.create_elements uf elements);
+    List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) unions;
+    same_set_matrix (Union_find.same_set uf)
+  in
+  let mk_gen uf =
+    Protect.protect ~spec:(Union_find.spec ())
+      ~adt:
+        (Protect.adt ~hooks:(Union_find.hooks uf)
+           ~connect_tracer:(Union_find.set_tracer uf) ())
+      Protect.General_gk
+  in
+  let mk_stm uf =
+    Protect.protect ~spec:(Union_find.spec ())
+      ~adt:
+        (Protect.adt ~hooks:(Union_find.hooks uf)
+           ~connect_tracer:(Union_find.set_tracer uf) ())
+      Protect.Stm
+  in
+  let operator uf det (txn : Txn.t) (a, b) =
+    ignore
+      (Boost.invoke det txn ~undo:(Union_find.undo uf) Union_find.m_union
+         [| Value.Int a; Value.Int b |]
+         (fun inv -> Union_find.exec_logged uf inv));
+    []
+  in
+  let half = List.length unions / 2 in
+  let first = List.filteri (fun i _ -> i < half) unions in
+  let second = List.filteri (fun i _ -> i >= half) unions in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (name, mk1, mk2) ->
+          let uf = Union_find.create () in
+          ignore (Union_find.create_elements uf elements);
+          let det1 = mk1 uf in
+          let s1 =
+            Executor.run_domains ~domains:d ~detector:det1
+              ~operator:(fun det txn u -> operator uf det txn u)
+              first
+          in
+          let det2 = mk2 uf in
+          let s2 =
+            Executor.run_domains ~domains:d ~detector:det2
+              ~operator:(fun det txn u -> operator uf det txn u)
+              second
+          in
+          check_int
+            (Fmt.str "%s @ %d domains: all unions committed" name d)
+            (List.length unions)
+            (s1.Executor.committed + s2.Executor.committed);
+          check_bool
+            (Fmt.str "%s @ %d domains: partition = sequential" name d)
+            true
+            (same_set_matrix (Union_find.same_set uf) = reference))
+        [
+          ("gen-gk->stm", mk_gen, mk_stm);
+          ("stm->gen-gk", mk_stm, mk_gen);
+        ])
+    domain_counts
+
+(* ------------------------------------------------------------- *)
 (* Orset presence-log regressions (per-instance undo log)         *)
 (* ------------------------------------------------------------- *)
 
@@ -558,6 +714,10 @@ let suite =
     Alcotest.test_case "equivalence: stm" `Slow test_stm_equivalence;
     Alcotest.test_case "stress: retries, stealing, termination" `Slow
       test_stress_retries_and_stealing;
+    Alcotest.test_case "swap: scheme pairs mid-run x {1,2,8} domains" `Slow
+      test_mid_run_swap_equivalence;
+    Alcotest.test_case "swap: gen-gk <-> stm mid-run x {1,2,8} domains" `Slow
+      test_mid_run_swap_uf_gen_gk_stm;
     Alcotest.test_case "orset: per-instance logs survive colliding uids" `Quick
       test_orset_two_instances_colliding_uid;
     Alcotest.test_case "orset: commit forgets log entries" `Quick

@@ -141,6 +141,56 @@ let test_obs_counters () =
     "schedules_pruned counter matches report" r.Explore.c.Explore.pruned
     (Obs.counter_value snap "schedules_pruned")
 
+(* ---- the adaptive hot-swap protocol, swept ---- *)
+
+(* Transactions over one set race a swapper fiber that flips a dispatcher
+   between a precise forward gatekeeper and the global lock under the
+   server's barrier condition (all guards held, zero open transactions).
+   The sweep must (a) find no serializability violation, deadlock or crash
+   in any interleaving, and (b) actually execute swaps — a sweep whose
+   every swap attempt failed would prove nothing about the protocol. *)
+let test_swap_protocol_swept () =
+  let swaps = ref 0 in
+  let w =
+    match
+      Workload.swap_set ~txns:2 ~ops_per_txn:2 ~keys:2 ~seed:11
+        ~on_swap:(fun () -> incr swaps)
+        ()
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let cfg = { Explore.default_config with max_schedules = 400 } in
+  let r = Explore.explore ~config:cfg w.Workload.make in
+  (match r.Explore.verdict with
+  | None -> ()
+  | Some f ->
+      Alcotest.fail
+        (Fmt.str "swap protocol produced a %s counterexample: %s@.%s"
+           f.Explore.f_kind f.Explore.f_detail f.Explore.f_trace));
+  Alcotest.(check bool)
+    (Fmt.str "the sweep exercised swaps (%d across %d schedules)" !swaps
+       r.Explore.c.Explore.runs)
+    true (!swaps > 0);
+  Alcotest.(check bool)
+    "explored more than one interleaving" true
+    (r.Explore.c.Explore.runs > 1)
+
+(* mid-transaction the swapper must hold off: replaying any schedule, a
+   flip can only have happened at open = 0, so the committed history stays
+   serializable even under the adversarial default policy *)
+let test_swap_default_policy () =
+  let w =
+    match Workload.swap_set ~txns:3 ~ops_per_txn:2 ~keys:2 ~seed:5 () with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let r = Scheduler.run ~schedule:[] w.Workload.make in
+  (match r.Scheduler.status with
+  | Scheduler.Completed -> ()
+  | st -> Alcotest.fail (Fmt.str "%a" Scheduler.pp_status st));
+  Alcotest.(check (option string)) "serializable" None r.Scheduler.oracle_failure
+
 (* ---- the seeded ABBA bug: found, shrunk, deterministic, replayable ---- *)
 
 let buggy () = Seeded.workload ~buggy:true ()
@@ -243,6 +293,8 @@ let suite =
     Alcotest.test_case "por-prunes" `Quick test_por_prunes;
     Alcotest.test_case "por-contended" `Quick test_por_contended;
     Alcotest.test_case "obs-counters" `Quick test_obs_counters;
+    Alcotest.test_case "swap-protocol-swept" `Quick test_swap_protocol_swept;
+    Alcotest.test_case "swap-default-policy" `Quick test_swap_default_policy;
     Alcotest.test_case "abba-found" `Quick test_abba_found;
     Alcotest.test_case "abba-fixed-clean" `Quick test_abba_fixed_clean;
     Alcotest.test_case "abba-pinned" `Quick test_abba_pinned;

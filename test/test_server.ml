@@ -277,6 +277,135 @@ let test_orset_log_drains_through_engine () =
   check_int "presence log empty after all commits" 0
     (Commlat_adts.Orset.log_size (Engine.orset_handle eng))
 
+(* Flow-graph over the wire: the engine exposes the 64-node ladder
+   (chain edges cap 1000, +8 chords cap 500) under "flow-graph".  The
+   round-trip checks the Value encodings of all four methods and the
+   preflow-side-conditions of push_flow. *)
+let test_flow_graph_wire () =
+  let eng = Engine.create ~obs:true () in
+  let h req = Engine.handle eng req in
+  (* heights start at 0 everywhere *)
+  check_bool "initial height" true
+    (expect_reply "height" (h (invoke "flow-graph" "height" [| Value.Int 0 |]))
+    = Value.Int 0);
+  (* get_neighbors of node 0: excess 0, height 0, edges to 1 (cap 1000)
+     and 8 (cap 500) *)
+  (match
+     expect_reply "get_neighbors"
+       (h (invoke "flow-graph" "get_neighbors" [| Value.Int 0 |]))
+   with
+  | Value.List [ Value.Int excess; Value.Int height; Value.List ns ] ->
+      check_int "node 0 excess" 0 excess;
+      check_int "node 0 height" 0 height;
+      let caps =
+        List.filter_map
+          (function
+            | Value.Pair (Value.Int v, Value.Int c) -> Some (v, c) | _ -> None)
+          ns
+      in
+      check_bool "chain edge 0->1 cap 1000" true (List.mem (1, 1000) caps);
+      check_bool "chord edge 0->8 cap 500" true (List.mem (8, 500) caps)
+  | v -> Alcotest.failf "get_neighbors shape: %a" Value.pp v);
+  (* push with no excess at the source is a no-op returning 0 *)
+  check_bool "push without excess moves nothing" true
+    (expect_reply "push_flow"
+       (h (invoke "flow-graph" "push_flow" [| Value.Int 0; Value.Int 1 |]))
+    = Value.Int 0);
+  (* relabel_to returns the PREVIOUS height (its own undo token) *)
+  check_bool "relabel_to returns previous height" true
+    (expect_reply "relabel_to"
+       (h (invoke "flow-graph" "relabel_to" [| Value.Int 0; Value.Int 3 |]))
+    = Value.Int 0);
+  check_bool "height reads the relabel back" true
+    (expect_reply "height" (h (invoke "flow-graph" "height" [| Value.Int 0 |]))
+    = Value.Int 3);
+  (* even with height 0->3 admissible-looking, excess 0 still means no push *)
+  ignore
+    (expect_reply "relabel_to"
+       (h (invoke "flow-graph" "relabel_to" [| Value.Int 1; Value.Int 2 |])));
+  check_bool "push needs source excess, not just heights" true
+    (expect_reply "push_flow"
+       (h (invoke "flow-graph" "push_flow" [| Value.Int 0; Value.Int 1 |]))
+    = Value.Int 0);
+  (* malformed requests error without wedging the engine *)
+  ignore
+    (expect_err "out-of-range node"
+       (h (invoke "flow-graph" "height" [| Value.Int 9999 |])));
+  ignore (expect_err "bad arity" (h (invoke "flow-graph" "push_flow" [| Value.Int 0 |])));
+  check_bool "engine alive after flow-graph errors" true
+    (expect_reply "height" (h (invoke "flow-graph" "height" [| Value.Int 1 |]))
+    = Value.Int 2)
+
+(* Mid-stream lattice moves: set_level between requests must preserve
+   single-threaded conformance, adopt the live ADT state, and keep the
+   chain registry consistent. *)
+let test_set_level_mid_stream () =
+  let eng = Engine.create ~obs:true ~uf_elements:16 () in
+  let h req = Engine.handle eng req in
+  (* registry shape *)
+  let chains = Engine.chains eng in
+  let chain adt = List.assoc adt chains in
+  check_bool "kvmap chain" true
+    (chain "kvmap" = [ "precise"; "simple"; "part" ]);
+  check_bool "set chain" true (chain "set" = [ "precise"; "simple"; "part" ]);
+  check_bool "flow-graph chain" true
+    (chain "flow-graph" = [ "precise"; "simple"; "part" ]);
+  check_bool "orset chain" true (chain "orset" = [ "precise"; "part" ]);
+  check_bool "union-find chain" true (chain "union-find" = [ "precise" ]);
+  check_str "boot level" "precise" (Engine.current_level eng "kvmap");
+  (* state written at one level is visible after moving to any other *)
+  for i = 0 to 9 do
+    ignore
+      (expect_reply "put"
+         (h (invoke "kvmap" "put" [| Value.Int i; Value.Int (i * i) |])))
+  done;
+  check_bool "strengthen kvmap to part" true
+    (Engine.set_level_name eng "kvmap" "part");
+  check_str "now at part" "part" (Engine.current_level eng "kvmap");
+  check_int "part is index 2" 2 (Engine.current_level_index eng "kvmap");
+  for i = 0 to 9 do
+    check_bool "reads survive the swap" true
+      (expect_reply "get" (h (invoke "kvmap" "get" [| Value.Int i |]))
+      = Value.Opt (Some (Value.Int (i * i))))
+  done;
+  (* mutate at part, then weaken back to precise and check again *)
+  ignore
+    (expect_reply "remove" (h (invoke "kvmap" "remove" [| Value.Int 0 |])));
+  check_bool "weaken kvmap to precise" true
+    (Engine.set_level_name eng "kvmap" "precise");
+  check_bool "removal done at part is visible at precise" true
+    (expect_reply "get" (h (invoke "kvmap" "get" [| Value.Int 0 |]))
+    = Value.Opt None);
+  check_bool "size consistent across two swaps" true
+    (expect_reply "size" (h (invoke "kvmap" "size" [||])) = Value.Int 9);
+  (* same-level set is a no-op, unknown names report false *)
+  check_bool "same-level no-op still true" true
+    (Engine.set_level_name eng "kvmap" "precise");
+  check_bool "unknown level name is false" true
+    (not (Engine.set_level_name eng "kvmap" "med"));
+  check_bool "union-find has no part level" true
+    (not (Engine.set_level_name eng "union-find" "part"));
+  (* out-of-range index and unknown adt raise *)
+  (match Engine.set_level eng "kvmap" 7 with
+  | () -> Alcotest.fail "set_level out of range must raise"
+  | exception Invalid_argument _ -> ());
+  (match Engine.set_level eng "queue" 0 with
+  | () -> Alcotest.fail "set_level unknown adt must raise"
+  | exception Invalid_argument _ -> ());
+  (* swapped-in detectors come up compiled: moving levels must not cost
+     the interpreter path its checks_avoided fast path.  The level
+     snapshot exists and is parseable evidence the detector is live. *)
+  ignore (Engine.level_snapshot eng "kvmap");
+  (* flow-graph joins the dance too *)
+  ignore
+    (expect_reply "relabel"
+       (h (invoke "flow-graph" "relabel_to" [| Value.Int 5; Value.Int 1 |])));
+  check_bool "flow-graph strengthen" true
+    (Engine.set_level_name eng "flow-graph" "part");
+  check_bool "flow-graph state survives its swap" true
+    (expect_reply "height" (h (invoke "flow-graph" "height" [| Value.Int 5 |]))
+    = Value.Int 1)
+
 (* ------------------------------------------------------------- *)
 (* Latency histogram                                              *)
 (* ------------------------------------------------------------- *)
@@ -335,6 +464,10 @@ let suite =
       Alcotest.test_case "engine: conformance" `Quick test_conformance;
       Alcotest.test_case "engine: bad requests are contained" `Quick
         test_error_containment;
+      Alcotest.test_case "engine: flow-graph wire round-trip" `Quick
+        test_flow_graph_wire;
+      Alcotest.test_case "engine: set_level mid-stream conformance" `Quick
+        test_set_level_mid_stream;
       Alcotest.test_case "engine: orset log drains" `Quick
         test_orset_log_drains_through_engine;
       Alcotest.test_case "histo: quantiles" `Quick test_histo_quantiles;

@@ -1522,6 +1522,181 @@ let adaptive_bench scale =
   | j -> j
 
 (* ------------------------------------------------------------------ *)
+(* Parallel exploration benchmark (BENCH_explore.json)                 *)
+(* ------------------------------------------------------------------ *)
+
+module Sched_pexplore = Commlat_sched.Pexplore
+
+let explore_gate_failed = ref false
+
+(* Schedules/sec of the work-stealing explorer at 1/2/4 domains over the
+   sweep workloads, with in-process correctness gates:
+
+   - on every configuration that exhausts its schedule tree, the
+     distinct-canonical-trace count ("states") and the violation verdict
+     must be identical at every domain count — the search tree is a fixed
+     function of the workload, so any difference is a parallelism bug;
+   - on budget-cut configurations only the verdict is gated (the explored
+     subset is domain-order-dependent, so run counters are reported but
+     not compared);
+   - the seeded ABBA deadlock must be found, shrunk, and replayable at 4
+     domains.
+
+   Speedup expectations are honest about the host: on a single-core
+   container every domain count measures the same core, so schedules/sec
+   is flat; the point of the gates is correctness invariance, and of the
+   rates, the bookkeeping overhead of parallel mode. *)
+let explore_bench scale =
+  header "Parallel DPOR exploration: schedules/sec at 1/2/4 domains";
+  let full = scale == full_scale in
+  let gate_fail fmt =
+    Fmt.kstr
+      (fun m ->
+        pf "GATE FAIL: %s@." m;
+        explore_gate_failed := true)
+      fmt
+  in
+  let wl name mk =
+    match mk () with
+    | Ok w -> (name, w)
+    | Error e -> failwith ("bench explore: " ^ name ^ ": " ^ e)
+  in
+  (* (label, workload, schedule budget); budgets over the known tree size
+     mark configurations expected to exhaust *)
+  let workloads =
+    [
+      ( wl "uf-gen-gk-s1" (fun () ->
+            Sched_workload.union_find ~txns:2 ~seed:1 Protect.General_gk),
+        8000,
+        true );
+      ( wl "delaunay-fwd-gk-s17" (fun () ->
+            Sched_workload.delaunay ~txns:2 ~points:6 ~seed:17 ~max_pts:24
+              Protect.Forward_gk),
+        8000,
+        true );
+      ( wl "delaunay-fwd-gk-s26" (fun () ->
+            Sched_workload.delaunay ~txns:3 ~points:8 ~seed:26 ~max_pts:28
+              Protect.Forward_gk),
+        8000,
+        true );
+      ( wl "mixed-fwd-gk-s42" (fun () ->
+            Sched_workload.mixed ~txns:3 ~ops_per_txn:2 ~keys:3 ~seed:42
+              Protect.Forward_gk),
+        8000,
+        true );
+      (* contended mixed plan: abort/retry tails blow the tree up past any
+         practical budget, so this row measures throughput only *)
+      ( wl "mixed-fwd-gk-s3" (fun () ->
+            Sched_workload.mixed ~txns:2 ~ops_per_txn:2 ~keys:2 ~seed:3
+              Protect.Forward_gk),
+        (if full then 4000 else 1500),
+        false );
+    ]
+  in
+  let domain_counts = [ 1; 2; 4 ] in
+  let rows = ref [] in
+  List.iter
+    (fun ((label, w), budget, expect_exhaust) ->
+      let baseline = ref None in
+      List.iter
+        (fun domains ->
+          let config =
+            {
+              Sched_pexplore.base =
+                {
+                  Sched_explore.default_config with
+                  Sched_explore.max_schedules = budget;
+                };
+              domains;
+              dedup = true;
+            }
+          in
+          let obs = Obs.create ~enabled:true "explore" in
+          let t0 = Unix.gettimeofday () in
+          let r = Sched_pexplore.explore ~config ~obs w.Sched_workload.make in
+          let dt = Unix.gettimeofday () -. t0 in
+          let runs = r.Sched_pexplore.c.Sched_explore.runs in
+          let violations =
+            match r.Sched_pexplore.verdict with None -> 0 | Some _ -> 1
+          in
+          let rate = if dt > 0.0 then float_of_int runs /. dt else 0.0 in
+          pf
+            "  %-22s domains=%d  %5d runs  %4d states  %s  %8.0f \
+             schedules/s%s@."
+            label domains runs r.Sched_pexplore.states
+            (if r.Sched_pexplore.exhausted then "exhausted" else "budget-cut")
+            rate
+            (if violations > 0 then "  VIOLATION" else "");
+          if expect_exhaust && not r.Sched_pexplore.exhausted then
+            gate_fail "%s: expected to exhaust within %d schedules at %d \
+                       domains"
+              label budget domains;
+          (match !baseline with
+          | None -> baseline := Some (r.Sched_pexplore.states, violations)
+          | Some (states1, viol1) ->
+              if r.Sched_pexplore.exhausted && expect_exhaust then begin
+                if r.Sched_pexplore.states <> states1 then
+                  gate_fail
+                    "%s: states at %d domains = %d, expected %d (sequential)"
+                    label domains r.Sched_pexplore.states states1;
+                if violations <> viol1 then
+                  gate_fail
+                    "%s: violations at %d domains = %d, expected %d"
+                    label domains violations viol1
+              end
+              else if violations <> viol1 then
+                gate_fail "%s: verdict changed at %d domains" label domains);
+          rows :=
+            Jsonx.Obj
+              [
+                ("workload", Jsonx.Str label);
+                ("detector", Jsonx.Str w.Sched_workload.w_detector);
+                ("txns", Jsonx.Int w.Sched_workload.w_txns);
+                ("domains", Jsonx.Int domains);
+                ("schedules", Jsonx.Int runs);
+                ("states", Jsonx.Int r.Sched_pexplore.states);
+                ("dedup_hits", Jsonx.Int r.Sched_pexplore.dedup_hits);
+                ("violations", Jsonx.Int violations);
+                ("exhausted", Jsonx.Bool r.Sched_pexplore.exhausted);
+                ("wall_s", Jsonx.Float dt);
+                ("schedules_per_sec", Jsonx.Float rate);
+                ("obs", Obs.snapshot_to_json (Obs.snapshot obs));
+              ]
+            :: !rows)
+        domain_counts)
+    workloads;
+  (* the seeded ABBA deadlock under parallel search: found, shrunk,
+     replayable *)
+  let abba () = Commlat_sched.Seeded.workload ~buggy:true () in
+  let r =
+    Sched_pexplore.explore
+      ~config:
+        {
+          Sched_pexplore.base = Sched_explore.default_config;
+          domains = 4;
+          dedup = true;
+        }
+      abba
+  in
+  (match r.Sched_pexplore.verdict with
+  | None -> gate_fail "abba-buggy: deadlock not found at 4 domains"
+  | Some f ->
+      if f.Sched_explore.f_kind <> "deadlock" then
+        gate_fail "abba-buggy: found %s, expected deadlock"
+          f.Sched_explore.f_kind;
+      let rr =
+        Sched_explore.replay ~schedule:f.Sched_explore.f_schedule abba
+      in
+      (match rr.Commlat_sched.Scheduler.status with
+      | Commlat_sched.Scheduler.Deadlock _ ->
+          pf "  abba-buggy: deadlock found and shrunk to %d choices at 4 \
+              domains@."
+            (List.length f.Sched_explore.f_schedule)
+      | _ ->
+          gate_fail "abba-buggy: shrunk schedule does not replay to deadlock"));
+  json_doc ~experiment:"explore" ~full (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1609,12 +1784,16 @@ let () =
       let doc = compile_bench scale in
       emit doc;
       if !compile_gate_failed then exit 1
+  | "explore" ->
+      let doc = explore_bench scale in
+      emit doc;
+      if !explore_gate_failed then exit 1
   | "model" -> no_json "model" (fun () -> model scale)
   | "ablation" -> no_json "ablation" (fun () -> ablation scale)
   | "bechamel" -> no_json "bechamel" bechamel
   | other ->
       pf
         "unknown experiment %S; one of \
-         all|table1|table2|fig10|fig11|fig12|figs|scaling|sharding|serve|adaptive|compile|model|ablation|bechamel@."
+         all|table1|table2|fig10|fig11|fig12|figs|scaling|sharding|serve|adaptive|compile|explore|model|ablation|bechamel@."
         other;
       exit 1

@@ -444,6 +444,7 @@ let synth_cmd =
     | "accumulator" -> Some (Commlat_adts.Accumulator.spec ())
     | "kvmap" -> Some (Commlat_adts.Kvmap.precise_spec ())
     | "orset" -> Some (Commlat_adts.Orset.spec ())
+    | "triset" -> Some (Commlat_adts.Triset.precise_spec ())
     | _ -> None
   in
   let jstr s = "\"" ^ Diagnostic.json_escape s ^ "\"" in
@@ -473,7 +474,8 @@ let synth_cmd =
           | Some s -> s
           | None ->
               Fmt.epr
-                "synth: no built-in ADT %s (try set, accumulator, kvmap, orset)@."
+                "synth: no built-in ADT %s (try set, accumulator, kvmap, orset, \
+                 triset)@."
                 a;
               exit 2)
       | _ ->
@@ -785,7 +787,11 @@ module Sched = Commlat_sched
 
 let explore_cmd =
   let run workload detector txns steps max_schedules no_por json_out replay_file
-      seed =
+      seed domains =
+    if domains < 1 then begin
+      Fmt.epr "explore: --domains must be >= 1@.";
+      exit 2
+    end;
     let scheme =
       match detector with Some s -> s | None -> Protect.Forward_gk
     in
@@ -840,6 +846,62 @@ let explore_cmd =
               || r.Sched.Scheduler.oracle_failure <> None
             in
             exit (if failed then 1 else 0)
+        | None when domains > 1 ->
+            let config =
+              {
+                Sched.Pexplore.base =
+                  {
+                    Sched.Explore.por = not no_por;
+                    max_schedules;
+                    max_steps = steps;
+                  };
+                domains;
+                dedup = true;
+              }
+            in
+            let obs = Obs.create ~enabled:true "explore" in
+            let report =
+              Sched.Pexplore.explore ~config ~obs w.Sched.Workload.make
+            in
+            let c = report.Sched.Pexplore.c in
+            Fmt.pr
+              "workload %s, detector %s, %d transactions, por=%b, %d domains@.\
+               schedules: %d run, %d pruned (commutativity), %d sleep-set \
+               hits, %d shrink runs@.\
+               states: %d distinct canonical traces, %d dedup hits@.\
+               steps: %d total, %d truncated runs; search %s@."
+              w.Sched.Workload.w_name w.Sched.Workload.w_detector
+              w.Sched.Workload.w_txns (not no_por) domains c.Sched.Explore.runs
+              c.Sched.Explore.pruned c.Sched.Explore.sleep_hits
+              c.Sched.Explore.shrink_runs report.Sched.Pexplore.states
+              report.Sched.Pexplore.dedup_hits c.Sched.Explore.steps
+              c.Sched.Explore.truncated
+              (if report.Sched.Pexplore.exhausted then "exhausted"
+               else "cut short by --max-schedules");
+            (match report.Sched.Pexplore.verdict with
+            | None -> Fmt.pr "verdict: ok (no counterexample)@."
+            | Some f ->
+                Fmt.pr
+                  "verdict: counterexample (%s): %s@.\
+                   schedule (shrunk %d -> %d choices): %s@.%s"
+                  f.Sched.Explore.f_kind f.Sched.Explore.f_detail
+                  f.Sched.Explore.f_shrunk_from
+                  (List.length f.Sched.Explore.f_schedule)
+                  (String.concat ","
+                     (List.map string_of_int f.Sched.Explore.f_schedule))
+                  f.Sched.Explore.f_trace);
+            (match json_out with
+            | Some path ->
+                let doc =
+                  Sched.Pexplore.json_of_report
+                    ~workload:w.Sched.Workload.w_name
+                    ~detector:w.Sched.Workload.w_detector
+                    ~txns:w.Sched.Workload.w_txns ~config
+                    ~obs_snapshot:(Obs.snapshot obs) report
+                in
+                write_out path (Jsonx.to_string doc ^ "\n")
+            | None -> ());
+            exit (if report.Sched.Pexplore.verdict = None then 0 else 1)
         | None ->
             let config =
               {
@@ -896,8 +958,10 @@ let explore_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD"
           ~doc:
-            "Workload to explore: $(b,set), $(b,kvmap), $(b,union-find), or \
-             the seeded lock-order-inversion pair $(b,abba-buggy) / \
+            "Workload to explore: $(b,set), $(b,kvmap), $(b,union-find), \
+             $(b,delaunay) (mesh refinement with cavity claiming), \
+             $(b,mixed) (two kvmaps + a set behind one composed detector), \
+             or the seeded lock-order-inversion pair $(b,abba-buggy) / \
              $(b,abba-fixed).")
   in
   let txns =
@@ -942,6 +1006,17 @@ let explore_cmd =
       & info [ "seed" ] ~docv:"N"
           ~doc:"Seed for the workload's deterministic operation plan.")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the search. $(b,1) (default) runs the \
+             sequential explorer; $(b,N>1) work-steals schedule prefixes \
+             across N domains with canonical-trace deduplication — same \
+             verdicts, same explored states, wall-clock divided by the \
+             available cores.")
+  in
   Cmd.v
     (Cmd.info "explore" ~exits
        ~doc:
@@ -954,7 +1029,7 @@ let explore_cmd =
           combination.")
     Term.(
       const run $ workload $ detector_arg $ txns $ steps $ max_schedules
-      $ no_por $ json_file_arg $ replay $ seed)
+      $ no_por $ json_file_arg $ replay $ seed $ domains)
 
 (* ---- compile ---- *)
 

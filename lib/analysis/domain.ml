@@ -103,6 +103,29 @@ let accumulator_domain =
     vfuns = [];
   }
 
+let triset_domain =
+  (* the set domain under the claim reading: take = claim-and-remove.
+     Same state space as [set_domain] — ids 0..2, seeded up to two live
+     triangles — which covers every clause of the precise conditions
+     (both-succeed, one-dead, both-dead). *)
+  let elems = ints [ 0; 1; 2 ] in
+  {
+    dom_name = "triset";
+    fresh = (fun () -> of_model (Triset.model ()));
+    states =
+      [
+        ("{}", []);
+        ("{0}", [ ("add", [ Value.Int 0 ]) ]);
+        ("{1}", [ ("add", [ Value.Int 1 ]) ]);
+        ("{0,1}", [ ("add", [ Value.Int 0 ]); ("add", [ Value.Int 1 ]) ]);
+      ];
+    args_of =
+      (function
+      | "take" | "add" | "contains" -> List.map (fun v -> [ v ]) elems
+      | _ -> []);
+    vfuns = [];
+  }
+
 let kvmap_domain =
   let keys = ints [ 0; 1 ] and data = ints [ 7; 8 ] in
   {
@@ -246,6 +269,7 @@ let () =
   register [ "kvmap"; "kvmap_rw" ] kvmap_domain;
   register [ "union_find" ] union_find_domain;
   register [ "orset" ] orset_domain;
+  register [ "triset"; "triset_rw" ] triset_domain;
   register
     [ "flow_graph"; "flow_graph_rw"; "flow_graph_ex"; "flow_graph_part2"; "flow_graph_part4" ]
     flow_graph_domain

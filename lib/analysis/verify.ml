@@ -667,13 +667,17 @@ let any_refuted r = List.exists (fun p -> is_refuted p.vf_verdict) r.vf_pairs
 (* The checker                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type family = Fam_set | Fam_accumulator | Fam_kvmap | Fam_orset
+type family = Fam_set | Fam_triset | Fam_accumulator | Fam_kvmap | Fam_orset
 
 let family_frame = function
   | Fam_set ->
       "add/remove/contains read and write only the membership bit of their \
        argument; elements named by neither invocation are untouched by both \
        orders"
+  | Fam_triset ->
+      "take/add/contains read and write only the liveness bit of the id they \
+       name; ids named by neither invocation are untouched by both orders \
+       (the set model under the claim renaming take = remove)"
   | Fam_orset ->
       "add/remove touch only the (element, id) pair they name; pairs named \
        by neither invocation are untouched by both orders"
@@ -687,6 +691,7 @@ let family_frame = function
 
 let family_name = function
   | Fam_set -> "set"
+  | Fam_triset -> "triset"
   | Fam_accumulator -> "accumulator"
   | Fam_kvmap -> "kvmap"
   | Fam_orset -> "orset"
@@ -696,6 +701,7 @@ let starts_with p s =
 
 let family_of adt =
   if starts_with "set" adt then Some Fam_set
+  else if starts_with "triset" adt then Some Fam_triset
   else if starts_with "accumulator" adt then Some Fam_accumulator
   else if starts_with "kvmap" adt then Some Fam_kvmap
   else if starts_with "orset" adt then Some Fam_orset
@@ -713,6 +719,16 @@ let cases_for fam m1 m2 : (case list, string) result =
       match unknown [ "add"; "remove"; "contains" ] with
       | Some e -> Error e
       | None -> Ok (set_cases m1 m2))
+  | Fam_triset -> (
+      (* take is claim-and-remove: identical observations, so the set's
+         symbolic cases verify it under the renaming.  Witness replay in
+         [confirm] still runs the original method names against the triset
+         reference domain. *)
+      match unknown [ "take"; "add"; "contains" ] with
+      | Some e -> Error e
+      | None ->
+          let rn = function "take" -> "remove" | m -> m in
+          Ok (set_cases (rn m1) (rn m2)))
   | Fam_orset -> (
       match unknown [ "add"; "remove" ] with
       | Some e -> Error e

@@ -36,3 +36,37 @@ let generate ?(seed = 7) ~rows ~cols () =
     nodes = rows * cols;
     edges = Array.mapi (fun i (u, v) -> (u, v, weights.(i))) edges;
   }
+
+(** Random point clouds: the Delaunay mesh refinement input.
+
+    [n] points strictly inside the square [\[0, size\]²], kept a margin of
+    [size/8] away from the border (so refinement circumcenters of interior
+    triangles tend to stay inside the bounding box).  Points are snapped
+    apart on a 1024×1024 rejection lattice, so they are pairwise distinct
+    by a robust float margin; the same [(seed, n)] always yields the same
+    array. *)
+let points ?(seed = 11) ~n ~size () : (float * float) array =
+  if n < 1 || size <= 0.0 then invalid_arg "Mesh.points";
+  let st = Random.State.make [| seed; n; 977 |] in
+  let margin = size /. 8.0 in
+  let span = size -. (2.0 *. margin) in
+  let cell (x, y) =
+    ( int_of_float (x *. 1024.0 /. size),
+      int_of_float (y *. 1024.0 /. size) )
+  in
+  let seen = Hashtbl.create (2 * n) in
+  let pts = Array.make n (0.0, 0.0) in
+  let i = ref 0 in
+  while !i < n do
+    let p =
+      ( margin +. Random.State.float st span,
+        margin +. Random.State.float st span )
+    in
+    let key = cell p in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      pts.(!i) <- p;
+      incr i
+    end
+  done;
+  pts

@@ -1,5 +1,5 @@
 (** Virtual yield points for systematic concurrency testing.  See the
-    interface for the contract; the implementation is a single global hook
+    interface for the contract; the implementation is a domain-local hook
     cell kept deliberately branch-cheap for the production (uninstalled)
     path. *)
 
@@ -21,17 +21,19 @@ let pp_action ppf = function
   | Read c -> Fmt.pf ppf "read(c%d)" c
   | Write c -> Fmt.pf ppf "write(c%d)" c
 
-(* One mutable cell, read on every Guard.lock/unlock in the process.  Not
-   an [Atomic.t]: installation is only legal while single-domain (the
-   virtual scheduler), and the uninstalled fast path must stay a plain
-   load + branch. *)
-let hook : (action -> unit) option ref = ref None
+(* One mutable cell per domain, read on every Guard.lock/unlock in the
+   process.  Domain-local storage rather than a global ref so that several
+   domains can each run their own virtual scheduler concurrently (the
+   parallel DPOR explorer); within a domain installation stays
+   unsynchronized and the uninstalled fast path is a DLS load + branch. *)
+let hook : (action -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let install f =
-  match !hook with
+  match Domain.DLS.get hook with
   | Some _ -> invalid_arg "Schedpoint.install: a hook is already installed"
-  | None -> hook := Some f
+  | None -> Domain.DLS.set hook (Some f)
 
-let uninstall () = hook := None
-let active () = Option.is_some !hook
-let emit a = match !hook with None -> () | Some f -> f a
+let uninstall () = Domain.DLS.set hook None
+let active () = Option.is_some (Domain.DLS.get hook)
+let emit a = match Domain.DLS.get hook with None -> () | Some f -> f a

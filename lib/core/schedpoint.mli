@@ -8,9 +8,12 @@
     suspends the current fiber at each announcement, turning every
     synchronization point into an explicit scheduling decision.
 
-    The hook is deliberately global and unsynchronized: it may only be
-    installed while the process runs the single-domain virtual scheduler
-    (exploration never shares the process with [Executor.run_domains]). *)
+    The hook is {e domain-local} and unsynchronized within its domain:
+    each domain may install at most one hook, and emissions only reach the
+    hook installed on the emitting domain.  This is what lets the parallel
+    explorer ([Commlat_sched.Pexplore]) run one virtual scheduler per
+    domain concurrently; exploration still never shares a domain with
+    [Executor.run_domains]. *)
 
 (** A synchronization point, announced {e before} the operation runs. *)
 type action =
@@ -25,15 +28,15 @@ type action =
 
 val pp_action : action Fmt.t
 
-(** [install f] routes every subsequent {!emit} to [f].  Single-domain
-    use only; raises [Invalid_argument] if a hook is already installed. *)
+(** [install f] routes every subsequent {!emit} {e on this domain} to
+    [f]; raises [Invalid_argument] if this domain already has a hook. *)
 val install : (action -> unit) -> unit
 
-(** Remove the installed hook (idempotent). *)
+(** Remove this domain's hook (idempotent). *)
 val uninstall : unit -> unit
 
-(** Is a hook currently installed? *)
+(** Is a hook currently installed on this domain? *)
 val active : unit -> bool
 
-(** Announce an action: calls the installed hook, or does nothing. *)
+(** Announce an action: calls this domain's hook, or does nothing. *)
 val emit : action -> unit

@@ -218,6 +218,102 @@ let shrink ~max_steps ~(c : counters) mk kind (schedule : int list) :
 
 type node = { prefix : int list; sleep : (int * string) list }
 
+(** What {!expand} found at one node: child prefixes in {e generation
+    order} (outermost decision's first alternative first) plus how many
+    branches commutativity pruning and the sleep set dropped. *)
+type expansion = {
+  children : node list;
+  x_pruned : int;
+  x_sleep_hits : int;
+}
+
+(** Generate the backtrack children of [node] from the run [r] it
+    produced: for every decision at or beyond the prefix and every enabled
+    alternative fiber, a child prefix — unless partial-order reduction or
+    the sleep set proves the branch redundant.  Pure with respect to the
+    caller's bookkeeping; shared by the sequential DFS below and the
+    parallel explorer ({!Pexplore}). *)
+let expand ~por ~spec (r : Scheduler.result) (node : node) : expansion =
+  let x_pruned = ref 0 and x_sleep_hits = ref 0 in
+  let steps = Array.of_list r.Scheduler.steps in
+  let nsteps = Array.length steps in
+  let choices = Array.of_list r.Scheduler.choices in
+  let plen = List.length node.prefix in
+  (* next index >= k at which fiber t executes, or nsteps *)
+  let next_exec k t =
+    let rec go j =
+      if j >= nsteps then nsteps
+      else if steps.(j).Trace.s_tid = t then j
+      else go (j + 1)
+    in
+    go k
+  in
+  let must_branch k t (alt : Trace.info) =
+    if not por then true
+    else begin
+      let m = next_exec k t in
+      let rec scan j =
+        j < m
+        && (dependent spec r.Scheduler.executed steps.(j).Trace.s_info alt
+           || scan (j + 1))
+      in
+      scan k
+    end
+  in
+  (* sleep bookkeeping: walk decisions in order, waking entries when a
+     dependent action executes; collect children *)
+  let children = ref [] in
+  let asleep = ref node.sleep in
+  let prefix_steps = ref [] (* steps.(0..k-1), reversed *) in
+  for k = 0 to nsteps - 1 do
+    let st = steps.(k) in
+    (if k >= plen then
+       let explored_here =
+         (* siblings already scheduled at this decision: the chosen fiber
+            first, then alternatives as we push them *)
+         ref
+           [
+             ( st.Trace.s_tid,
+               Trace.fingerprint (List.rev !prefix_steps) st.Trace.s_tid
+                 st.Trace.s_info );
+           ]
+       in
+       List.iter
+         (fun (t, _att, alt) ->
+           let fp = Trace.fingerprint (List.rev !prefix_steps) t alt in
+           if List.mem (t, fp) !asleep then incr x_sleep_hits
+           else if not (must_branch k t alt) then incr x_pruned
+           else begin
+             let child_prefix =
+               Array.to_list (Array.sub choices 0 k) @ [ t ]
+             in
+             children :=
+               { prefix = child_prefix; sleep = !explored_here } :: !children;
+             explored_here := (t, fp) :: !explored_here
+           end)
+         st.Trace.s_alts);
+    (* wake sleeping entries the executed step conflicts with *)
+    asleep :=
+      List.filter
+        (fun (t, fp) ->
+          if t = st.Trace.s_tid then false
+          else
+            match
+              List.find_opt (fun (t', _, _) -> t' = t) st.Trace.s_alts
+            with
+            | Some (_, _, pend)
+              when Trace.fingerprint (List.rev !prefix_steps) t pend = fp ->
+                not (dependent spec r.Scheduler.executed st.Trace.s_info pend)
+            | _ -> true)
+        !asleep;
+    prefix_steps := st :: !prefix_steps
+  done;
+  {
+    children = List.rev !children;
+    x_pruned = !x_pruned;
+    x_sleep_hits = !x_sleep_hits;
+  }
+
 let explore ?(config = default_config) ?obs (mk : unit -> Scheduler.instance) :
     report =
   let c =
@@ -277,98 +373,18 @@ let explore ?(config = default_config) ?obs (mk : unit -> Scheduler.instance) :
                 }
         | None ->
             (* generate children at decisions >= |prefix| *)
-            let steps = Array.of_list r.Scheduler.steps in
-            let nsteps = Array.length steps in
-            let choices = Array.of_list r.Scheduler.choices in
-            let plen = List.length node.prefix in
-            (* next index >= k at which fiber t executes, or nsteps *)
-            let next_exec k t =
-              let rec go j =
-                if j >= nsteps then nsteps
-                else if steps.(j).Trace.s_tid = t then j
-                else go (j + 1)
-              in
-              go k
-            in
-            let must_branch k t (alt : Trace.info) =
-              if not config.por then true
-              else begin
-                let m = next_exec k t in
-                let rec scan j =
-                  j < m
-                  && (dependent spec r.Scheduler.executed
-                        steps.(j).Trace.s_info alt
-                     || scan (j + 1))
-                in
-                scan k
-              end
-            in
-            (* sleep bookkeeping: walk decisions in order, waking entries
-               when a dependent action executes; collect children *)
-            let children = ref [] in
-            let asleep = ref node.sleep in
-            let prefix_steps = ref [] (* steps.(0..k-1), reversed *) in
-            for k = 0 to nsteps - 1 do
-              let st = steps.(k) in
-              (if k >= plen then
-                 let explored_here =
-                   (* siblings already scheduled at this decision: the
-                      chosen fiber first, then alternatives as we push
-                      them *)
-                   ref
-                     [
-                       ( st.Trace.s_tid,
-                         Trace.fingerprint (List.rev !prefix_steps)
-                           st.Trace.s_tid st.Trace.s_info );
-                     ]
-                 in
-                 List.iter
-                   (fun (t, _att, alt) ->
-                     let fp =
-                       Trace.fingerprint (List.rev !prefix_steps) t alt
-                     in
-                     if List.mem (t, fp) !asleep then begin
-                       c.sleep_hits <- c.sleep_hits + 1;
-                       bump o_sleep
-                     end
-                     else if not (must_branch k t alt) then begin
-                       c.pruned <- c.pruned + 1;
-                       bump o_pruned
-                     end
-                     else begin
-                       let child_prefix =
-                         Array.to_list (Array.sub choices 0 k) @ [ t ]
-                       in
-                       children :=
-                         { prefix = child_prefix; sleep = !explored_here }
-                         :: !children;
-                       explored_here := (t, fp) :: !explored_here
-                     end)
-                   st.Trace.s_alts);
-              (* wake sleeping entries the executed step conflicts with *)
-              asleep :=
-                List.filter
-                  (fun (t, fp) ->
-                    if t = st.Trace.s_tid then false
-                    else
-                      match
-                        List.find_opt
-                          (fun (t', _, _) -> t' = t)
-                          st.Trace.s_alts
-                      with
-                      | Some (_, _, pend)
-                        when Trace.fingerprint (List.rev !prefix_steps) t pend
-                             = fp ->
-                          not
-                            (dependent spec r.Scheduler.executed
-                               st.Trace.s_info pend)
-                      | _ -> true)
-                  !asleep;
-              prefix_steps := st :: !prefix_steps
+            let x = expand ~por:config.por ~spec r node in
+            c.pruned <- c.pruned + x.x_pruned;
+            for _ = 1 to x.x_pruned do
+              bump o_pruned
+            done;
+            c.sleep_hits <- c.sleep_hits + x.x_sleep_hits;
+            for _ = 1 to x.x_sleep_hits do
+              bump o_sleep
             done;
             (* depth-first: push children so the LAST decision's branches
                are explored first *)
-            stack := List.rev_append (List.rev !children) !stack)
+            stack := List.rev_append x.children !stack)
   done;
   {
     verdict = !found;

@@ -1,0 +1,452 @@
+(** Domain-parallel DPOR exploration by work-stealing schedule prefixes.
+
+    The sequential explorer ({!Explore}) walks a {e fixed} tree: each node
+    is a schedule prefix plus a sleep set, and the children of a node are
+    a deterministic function of the node alone (replay the prefix through
+    the deterministic {!Scheduler}, expand backtrack points under
+    commutativity pruning — {!Explore.expand}).  That makes the search
+    embarrassingly parallel in the work-stealing sense: any domain can
+    process any frontier node.  Each worker owns a {!Wsdeque} of nodes; it
+    pops from the front (depth-first, like the sequential stack), pushes
+    freshly generated children to the front, and when empty steals the
+    {e oldest} node from another deque — stolen prefixes are short, so a
+    thief receives a large subtree and steal traffic stays low.
+
+    Workers run one virtual scheduler each; {!Schedpoint} hooks are
+    domain-local, so replays on different domains do not interact.  All
+    cross-domain state is explicit: an atomic run-ticket counter enforces
+    the schedule budget exactly, an atomic pending-node count gives exact
+    termination (a node is "pending" from push until its children have
+    been pushed), a mutex-claimed first-failure slot makes counterexample
+    handling deterministic-per-winner (the winner stops the fleet, then
+    shrinks alone on its own domain, preserving {!Explore.shrink}
+    semantics), and a sharded seen-trace table dedups Mazurkiewicz-
+    equivalent traces discovered by different domains.
+
+    Dedup keys are {e canonical}: the happens-before relation of a run
+    (program order plus {!Explore.dependent} pairs) is linearized greedily
+    by smallest thread id — within one thread the earliest unscheduled
+    event is the only ready one, so the choice is total — and the result
+    is rendered with {!Trace.render}'s first-appearance normalization.
+    Two equivalent traces (same partial order; commuting reorderings
+    cannot change responses) therefore produce byte-identical keys on any
+    domain.  The table is always maintained (it is how "explored states"
+    are counted); the [dedup] flag additionally skips child expansion on a
+    hit.
+
+    With [domains = 1] the worker loop degenerates to exactly the
+    sequential DFS: same pop order, same run order, same first failure,
+    same shrink — the equivalence the test suite pins. *)
+
+module Obs = Commlat_obs.Obs
+module Jsonx = Commlat_obs.Jsonx
+module Wsdeque = Commlat_wsdeque.Wsdeque
+
+type config = {
+  base : Explore.config;
+  domains : int;  (** worker domains (1 = sequential-equivalent) *)
+  dedup : bool;
+      (** skip expanding a node whose canonical trace was already
+          expanded; the seen table is maintained (and hits counted)
+          either way *)
+}
+
+let default_config =
+  { base = Explore.default_config; domains = 2; dedup = true }
+
+type domain_counters = {
+  mutable d_runs : int;  (** schedules this domain executed *)
+  mutable d_steps : int;
+  mutable d_truncated : int;
+  mutable d_pruned : int;
+  mutable d_sleep_hits : int;
+  mutable d_expanded : int;  (** nodes whose children were generated *)
+  mutable d_pushed : int;  (** children pushed to the local deque *)
+  mutable d_steals : int;  (** successful steals from other deques *)
+  mutable d_steal_misses : int;  (** full sweeps that found nothing *)
+  mutable d_dedup_hits : int;
+  mutable d_shrink_runs : int;
+}
+
+type report = {
+  verdict : Explore.failure option;
+  c : Explore.counters;  (** aggregated across domains *)
+  per_domain : domain_counters array;
+  states : int;  (** distinct canonical traces across all domains *)
+  dedup_hits : int;
+  exhausted : bool;  (** false: the run budget cut the search short *)
+  domains : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Canonical trace keys                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** The canonical linearization of a run's happens-before partial order:
+    greedy smallest-tid topological sort over program order +
+    {!Explore.dependent} edges, rendered with first-appearance
+    normalization.  Invariant under commuting reorderings. *)
+let canonical_key spec (r : Scheduler.result) : string =
+  let arr = Array.of_list r.Scheduler.steps in
+  let n = Array.length arr in
+  let succs = Array.make n [] in
+  let indeg = Array.make n 0 in
+  for j = 0 to n - 1 do
+    for i = 0 to j - 1 do
+      if
+        arr.(i).Trace.s_tid = arr.(j).Trace.s_tid
+        || Explore.dependent spec r.Scheduler.executed arr.(i).Trace.s_info
+             arr.(j).Trace.s_info
+      then begin
+        succs.(i) <- j :: succs.(i);
+        indeg.(j) <- indeg.(j) + 1
+      end
+    done
+  done;
+  let module Ready = Set.Make (struct
+    type t = int * int (* (tid, step index) *)
+
+    let compare = compare
+  end) in
+  let ready = ref Ready.empty in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then ready := Ready.add (arr.(i).Trace.s_tid, i) !ready
+  done;
+  let order = ref [] in
+  while not (Ready.is_empty !ready) do
+    let ((_, i) as e) = Ready.min_elt !ready in
+    ready := Ready.remove e !ready;
+    order := i :: !order;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then ready := Ready.add (arr.(j).Trace.s_tid, j) !ready)
+      succs.(i)
+  done;
+  Trace.render (List.rev_map (fun i -> arr.(i)) !order)
+
+(* ------------------------------------------------------------------ *)
+(* The sharded seen-trace table                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Seen = struct
+  type t = {
+    tables : (string, unit) Hashtbl.t array;
+    locks : Mutex.t array;
+  }
+
+  let shards = 64 (* power of two *)
+
+  let create () =
+    {
+      tables = Array.init shards (fun _ -> Hashtbl.create 64);
+      locks = Array.init shards (fun _ -> Mutex.create ());
+    }
+
+  (** [add t key] is [true] iff [key] was not present (first sighting). *)
+  let add t key =
+    let i = Hashtbl.hash key land (shards - 1) in
+    Mutex.protect t.locks.(i) (fun () ->
+        if Hashtbl.mem t.tables.(i) key then false
+        else begin
+          Hashtbl.replace t.tables.(i) key ();
+          true
+        end)
+
+  let cardinal t =
+    Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.tables
+end
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_domain_counters () =
+  {
+    d_runs = 0;
+    d_steps = 0;
+    d_truncated = 0;
+    d_pruned = 0;
+    d_sleep_hits = 0;
+    d_expanded = 0;
+    d_pushed = 0;
+    d_steals = 0;
+    d_steal_misses = 0;
+    d_dedup_hits = 0;
+    d_shrink_runs = 0;
+  }
+
+let explore ?(config = default_config) ?obs (mk : unit -> Scheduler.instance) :
+    report =
+  let ndom = max 1 config.domains in
+  let max_steps = config.base.Explore.max_steps in
+  let max_schedules = config.base.Explore.max_schedules in
+  let o_runs, o_pruned, o_sleep =
+    match obs with
+    | Some o ->
+        ( Some (Obs.counter o "schedules_run"),
+          Some (Obs.counter o "schedules_pruned"),
+          Some (Obs.counter o "sleep_set_hits") )
+    | None -> (None, None, None)
+  in
+  let bump ?(n = 1) cnt =
+    match cnt with
+    | Some x ->
+        for _ = 1 to n do
+          Obs.incr x
+        done
+    | None -> ()
+  in
+  let spec = (mk ()).Scheduler.spec in
+  let deques = Array.init ndom (fun _ -> Wsdeque.create ()) in
+  let per_domain = Array.init ndom (fun _ -> fresh_domain_counters ()) in
+  let seen = Seen.create () in
+  (* nodes pushed but whose processing has not finished; exact because a
+     worker increments for every child BEFORE decrementing for the parent *)
+  let pending = Atomic.make 1 in
+  Wsdeque.push_front deques.(0) { Explore.prefix = []; sleep = [] };
+  let tickets = Atomic.make 0 in
+  let budget_hit = Atomic.make false in
+  let stop = Atomic.make false in
+  let found_mu = Mutex.create () in
+  let claimed = ref false (* protected by found_mu *) in
+  let failure : Explore.failure option ref =
+    ref None (* written by the claim winner only; read after joins *)
+  in
+  let process me node =
+    let d = per_domain.(me) in
+    if Atomic.get stop then ()
+    else if Atomic.fetch_and_add tickets 1 >= max_schedules then begin
+      (* budget honesty: this node was frontier work we did NOT run *)
+      Atomic.set budget_hit true;
+      Atomic.set stop true
+    end
+    else begin
+      let r = Scheduler.run ~max_steps ~schedule:node.Explore.prefix mk in
+      d.d_runs <- d.d_runs + 1;
+      bump o_runs;
+      d.d_steps <- d.d_steps + List.length r.Scheduler.steps;
+      if r.Scheduler.status = Scheduler.Truncated then
+        d.d_truncated <- d.d_truncated + 1;
+      match Explore.failure_of_run r with
+      | Some (kind, _) ->
+          let win =
+            Mutex.protect found_mu (fun () ->
+                if !claimed then false
+                else begin
+                  claimed := true;
+                  true
+                end)
+          in
+          if win then begin
+            Atomic.set stop true;
+            let scratch =
+              {
+                Explore.runs = 0;
+                pruned = 0;
+                sleep_hits = 0;
+                steps = 0;
+                truncated = 0;
+                shrink_runs = 0;
+              }
+            in
+            let sched, rr =
+              Explore.shrink ~max_steps ~c:scratch mk kind r.Scheduler.choices
+            in
+            d.d_shrink_runs <- d.d_shrink_runs + scratch.Explore.shrink_runs;
+            d.d_steps <- d.d_steps + scratch.Explore.steps;
+            let detail =
+              match Explore.failure_of_run rr with
+              | Some (_, dd) -> dd
+              | None -> "failure did not reproduce on shrunk schedule"
+            in
+            failure :=
+              Some
+                {
+                  Explore.f_kind = kind;
+                  f_detail = detail;
+                  f_schedule = sched;
+                  f_trace = Trace.render rr.Scheduler.steps;
+                  f_shrunk_from = List.length r.Scheduler.choices;
+                }
+          end
+      | None ->
+          let first_sighting = Seen.add seen (canonical_key spec r) in
+          if first_sighting || not config.dedup then begin
+            if not first_sighting then d.d_dedup_hits <- d.d_dedup_hits + 1;
+            let x = Explore.expand ~por:config.base.Explore.por ~spec r node in
+            d.d_pruned <- d.d_pruned + x.Explore.x_pruned;
+            bump ~n:x.Explore.x_pruned o_pruned;
+            d.d_sleep_hits <- d.d_sleep_hits + x.Explore.x_sleep_hits;
+            bump ~n:x.Explore.x_sleep_hits o_sleep;
+            d.d_expanded <- d.d_expanded + 1;
+            let k = List.length x.Explore.children in
+            if k > 0 then begin
+              ignore (Atomic.fetch_and_add pending k);
+              (* push in generation order: the LAST decision's branch ends
+                 up at the front, matching the sequential DFS order *)
+              List.iter (Wsdeque.push_front deques.(me)) x.Explore.children
+            end;
+            d.d_pushed <- d.d_pushed + k
+          end
+          else d.d_dedup_hits <- d.d_dedup_hits + 1
+    end
+  in
+  let worker me =
+    let d = per_domain.(me) in
+    let mine = deques.(me) in
+    let rec obtain () =
+      if Atomic.get stop then None
+      else
+        match Wsdeque.pop mine with
+        | Some n -> Some n
+        | None ->
+            if Atomic.get pending = 0 then None
+            else begin
+              let stolen = ref None in
+              let k = ref 1 in
+              while !stolen = None && !k < ndom do
+                (match Wsdeque.steal deques.((me + !k) mod ndom) with
+                | Some n ->
+                    stolen := Some n;
+                    d.d_steals <- d.d_steals + 1
+                | None -> ());
+                incr k
+              done;
+              match !stolen with
+              | Some n -> Some n
+              | None ->
+                  d.d_steal_misses <- d.d_steal_misses + 1;
+                  Domain.cpu_relax ();
+                  obtain ()
+            end
+    in
+    let rec loop () =
+      match obtain () with
+      | None -> ()
+      | Some node ->
+          process me node;
+          Atomic.decr pending;
+          loop ()
+    in
+    loop ()
+  in
+  let safe_worker me () =
+    try worker me
+    with e ->
+      (* unblock the other workers before propagating *)
+      Atomic.set stop true;
+      raise e
+  in
+  let spawned =
+    Array.init (ndom - 1) (fun i -> Domain.spawn (safe_worker (i + 1)))
+  in
+  let errs = ref [] in
+  (try safe_worker 0 () with e -> errs := [ e ]);
+  Array.iter
+    (fun dmn -> try Domain.join dmn with e -> errs := !errs @ [ e ])
+    spawned;
+  (match !errs with e :: _ -> raise e | [] -> ());
+  let c =
+    {
+      Explore.runs = 0;
+      pruned = 0;
+      sleep_hits = 0;
+      steps = 0;
+      truncated = 0;
+      shrink_runs = 0;
+    }
+  in
+  Array.iter
+    (fun d ->
+      c.Explore.runs <- c.Explore.runs + d.d_runs;
+      c.Explore.pruned <- c.Explore.pruned + d.d_pruned;
+      c.Explore.sleep_hits <- c.Explore.sleep_hits + d.d_sleep_hits;
+      c.Explore.steps <- c.Explore.steps + d.d_steps;
+      c.Explore.truncated <- c.Explore.truncated + d.d_truncated;
+      c.Explore.shrink_runs <- c.Explore.shrink_runs + d.d_shrink_runs)
+    per_domain;
+  {
+    verdict = !failure;
+    c;
+    per_domain;
+    states = Seen.cardinal seen;
+    dedup_hits =
+      Array.fold_left (fun acc d -> acc + d.d_dedup_hits) 0 per_domain;
+    exhausted = !failure <> None || not (Atomic.get budget_hit);
+    domains = ndom;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_domain i (d : domain_counters) : Jsonx.t =
+  Jsonx.Obj
+    [
+      ("domain", Jsonx.Int i);
+      ("runs", Jsonx.Int d.d_runs);
+      ("steps", Jsonx.Int d.d_steps);
+      ("truncated", Jsonx.Int d.d_truncated);
+      ("pruned", Jsonx.Int d.d_pruned);
+      ("sleep_hits", Jsonx.Int d.d_sleep_hits);
+      ("expanded", Jsonx.Int d.d_expanded);
+      ("pushed", Jsonx.Int d.d_pushed);
+      ("steals", Jsonx.Int d.d_steals);
+      ("steal_misses", Jsonx.Int d.d_steal_misses);
+      ("dedup_hits", Jsonx.Int d.d_dedup_hits);
+      ("shrink_runs", Jsonx.Int d.d_shrink_runs);
+    ]
+
+let json_of_report ~workload ~detector ~txns ~(config : config) ?obs_snapshot
+    (r : report) : Jsonx.t =
+  let fail_json =
+    match r.verdict with
+    | None -> Jsonx.Null
+    | Some f ->
+        Jsonx.Obj
+          [
+            ("kind", Jsonx.Str f.Explore.f_kind);
+            ("detail", Jsonx.Str f.Explore.f_detail);
+            ( "schedule",
+              Jsonx.List
+                (List.map (fun t -> Jsonx.Int t) f.Explore.f_schedule) );
+            ("shrunk_from_length", Jsonx.Int f.Explore.f_shrunk_from);
+            ("trace", Jsonx.Str f.Explore.f_trace);
+          ]
+  in
+  let dedup_rate =
+    if r.c.Explore.runs = 0 then 0.0
+    else float_of_int r.dedup_hits /. float_of_int r.c.Explore.runs
+  in
+  Jsonx.Obj
+    ([
+       ("schema", Jsonx.Str "commlat-explore-par/1");
+       ("workload", Jsonx.Str workload);
+       ("detector", Jsonx.Str detector);
+       ("txns", Jsonx.Int txns);
+       ("domains", Jsonx.Int r.domains);
+       ("por", Jsonx.Bool config.base.Explore.por);
+       ("dedup", Jsonx.Bool config.dedup);
+       ("max_schedules", Jsonx.Int config.base.Explore.max_schedules);
+       ("max_steps", Jsonx.Int config.base.Explore.max_steps);
+       ("schedules_run", Jsonx.Int r.c.Explore.runs);
+       ("schedules_pruned", Jsonx.Int r.c.Explore.pruned);
+       ("sleep_set_hits", Jsonx.Int r.c.Explore.sleep_hits);
+       ("steps_total", Jsonx.Int r.c.Explore.steps);
+       ("truncated_runs", Jsonx.Int r.c.Explore.truncated);
+       ("shrink_runs", Jsonx.Int r.c.Explore.shrink_runs);
+       ("states", Jsonx.Int r.states);
+       ("dedup_hits", Jsonx.Int r.dedup_hits);
+       ("dedup_rate", Jsonx.Float dedup_rate);
+       ("exhausted", Jsonx.Bool r.exhausted);
+       ( "verdict",
+         Jsonx.Str
+           (match r.verdict with None -> "ok" | Some _ -> "counterexample") );
+       ("counterexample", fail_json);
+       ("per_domain", Jsonx.List (Array.to_list (Array.mapi json_of_domain r.per_domain)));
+     ]
+    @
+    match obs_snapshot with
+    | Some s -> [ ("obs", Obs.snapshot_to_json s) ]
+    | None -> [])

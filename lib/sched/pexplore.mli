@@ -1,0 +1,95 @@
+(** Domain-parallel DPOR exploration by work-stealing schedule prefixes.
+
+    Parallelizes {!Explore} across OCaml domains.  The search tree is a
+    fixed function of the workload ({!Scheduler.run} is deterministic and
+    {!Explore.expand} is pure), so any domain can process any frontier
+    node: each worker owns a {!Commlat_wsdeque.Wsdeque} of
+    prefix-plus-sleep-set nodes, pops depth-first from the front, pushes
+    children back to the front, and steals the oldest (shortest-prefix =
+    largest-subtree) node from a victim when empty.  {!Commlat_core.Schedpoint}
+    hooks are domain-local, so each worker replays schedules through its
+    own virtual scheduler without interference.
+
+    Guarantees preserved from the sequential explorer:
+
+    - {b budget honesty} — an atomic run-ticket counter makes
+      [max_schedules] exact across domains, and [exhausted] is [false]
+      whenever the budget cut frontier work;
+    - {b counterexamples} — the first failure to be claimed stops the
+      fleet and is shrunk by the claiming domain with
+      {!Explore.shrink} (same greedy prefix-truncation + deletion);
+    - {b determinism at [domains = 1]} — the single worker visits nodes
+      in exactly the sequential DFS order, so verdict, schedule, counters
+      and shrink result match {!Explore.explore}.
+
+    Across domains, a sharded seen-trace table keyed on the {e canonical
+    linearization} of each run's happens-before order (greedy minimal-tid
+    topological sort, first-appearance-normalized rendering) counts
+    distinct Mazurkiewicz traces ("states") and, when [dedup] is set,
+    skips re-expanding a trace another domain already expanded. *)
+
+open Commlat_core
+module Obs = Commlat_obs.Obs
+module Jsonx = Commlat_obs.Jsonx
+
+type config = {
+  base : Explore.config;  (** por / max_schedules / max_steps *)
+  domains : int;  (** worker domains (1 = sequential-equivalent) *)
+  dedup : bool;
+      (** skip expanding a node whose canonical trace was already
+          expanded; the seen table is maintained (and hits counted)
+          either way *)
+}
+
+(** [{ base = Explore.default_config; domains = 2; dedup = true }] *)
+val default_config : config
+
+type domain_counters = {
+  mutable d_runs : int;  (** schedules this domain executed *)
+  mutable d_steps : int;
+  mutable d_truncated : int;
+  mutable d_pruned : int;
+  mutable d_sleep_hits : int;
+  mutable d_expanded : int;  (** nodes whose children were generated *)
+  mutable d_pushed : int;  (** children pushed to the local deque *)
+  mutable d_steals : int;  (** successful steals from other deques *)
+  mutable d_steal_misses : int;  (** full sweeps that found nothing *)
+  mutable d_dedup_hits : int;
+  mutable d_shrink_runs : int;
+}
+
+type report = {
+  verdict : Explore.failure option;
+  c : Explore.counters;  (** aggregated across domains *)
+  per_domain : domain_counters array;
+  states : int;  (** distinct canonical traces across all domains *)
+  dedup_hits : int;
+  exhausted : bool;  (** false: the run budget cut the search short *)
+  domains : int;
+}
+
+(** The canonical linearization key of one run; exposed for tests (two
+    runs are Mazurkiewicz-equivalent iff their keys are equal). *)
+val canonical_key : Spec.t option -> Scheduler.result -> string
+
+(** Explore [mk]'s schedule tree on [config.domains] domains.  [obs], when
+    given, receives the same [schedules_run] / [schedules_pruned] /
+    [sleep_set_hits] counters as the sequential explorer (bumped from all
+    domains). *)
+val explore :
+  ?config:config ->
+  ?obs:Obs.t ->
+  (unit -> Scheduler.instance) ->
+  report
+
+(** JSON document (schema ["commlat-explore-par/1"]): everything the
+    sequential report carries plus [domains], [states], [dedup_hits],
+    [dedup_rate] and a [per_domain] array of steal/expand counters. *)
+val json_of_report :
+  workload:string ->
+  detector:string ->
+  txns:int ->
+  config:config ->
+  ?obs_snapshot:Obs.snapshot ->
+  report ->
+  Jsonx.t

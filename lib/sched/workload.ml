@@ -15,6 +15,7 @@
 
 open Commlat_core
 open Commlat_adts
+open Commlat_apps
 open Commlat_runtime
 
 type t = {
@@ -24,7 +25,7 @@ type t = {
   make : unit -> Scheduler.instance;
 }
 
-let names = [ "set"; "kvmap"; "union-find"; "swap-set" ]
+let names = [ "set"; "kvmap"; "union-find"; "swap-set"; "delaunay"; "mixed" ]
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -341,6 +342,316 @@ let swap_set ?(txns = 2) ?(ops_per_txn = 2) ?(keys = 2) ?(seed = 42)
     (check_scheme ~what:"swap-set" make)
 
 (* ------------------------------------------------------------------ *)
+(* Delaunay mesh refinement                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Real irregular work under the explorer: a small point cloud is
+    triangulated, and [txns] transactions each refine a share of the bad
+    triangles through {!Commlat_apps.Delaunay.operator} — cavity claims go
+    through the protected {!Commlat_adts.Triset}, structural state is read
+    dirty and repaired on abort.  On top of the serializability oracle,
+    every explored schedule must leave a mesh satisfying the Delaunay
+    property (no vertex strictly inside any live triangle's
+    circumcircle) — the application-level proof that cavity claiming plus
+    rollback really serializes the refinements. *)
+let delaunay ?(txns = 2) ?(points = 6) ?(seed = 42) ?(max_pts = 24)
+    (scheme : Protect.scheme) : (t, string) result =
+  let make () =
+    let input = Mesh.points ~seed ~n:points ~size:100.0 () in
+    let m = Delaunay.create ~max_pts ~size:100.0 input in
+    let det = Delaunay.detector ~obs:true m scheme in
+    let seeds = Delaunay.bad_ids m in
+    let buckets = Array.make txns [] in
+    List.iteri
+      (fun i id -> buckets.(i mod txns) <- id :: buckets.(i mod txns))
+      seeds;
+    let body ids ~det ~txn =
+      let q = Queue.create () in
+      List.iter (fun id -> Queue.add id q) ids;
+      while not (Queue.is_empty q) do
+        List.iter
+          (fun nid -> Queue.add nid q)
+          (Delaunay.operator m det txn (Queue.pop q))
+      done
+    in
+    (* the replay model must start from the post-construction liveness
+       set, not the empty one: construction populates [live] outside any
+       transaction *)
+    let init_ids = Triset.elements m.Delaunay.live in
+    let model =
+      let s = Triset.create () in
+      let fill () = List.iter (fun id -> ignore (Triset.add s id)) init_ids in
+      fill ();
+      {
+        History.reset =
+          (fun () ->
+            Triset.clear s;
+            fill ());
+        apply = (fun name args -> Triset.exec s name (Array.of_list args));
+        snapshot =
+          (fun () ->
+            Value.List
+              (List.map (fun id -> Value.Int id) (Triset.elements s)));
+      }
+    in
+    let final () =
+      Value.List
+        (List.map
+           (fun id -> Value.Int id)
+           (Triset.elements m.Delaunay.live))
+    in
+    let ser = serializability_oracle model final in
+    {
+      Scheduler.det;
+      spec = Some (Delaunay.spec_for scheme);
+      tasks =
+        Array.map (fun ids -> { Scheduler.body = body (List.rev ids) }) buckets;
+      final;
+      oracle =
+        (fun history ->
+          match ser history with
+          | Some _ as e -> e
+          | None ->
+              Option.map
+                (fun v -> "mesh not Delaunay after refinement: " ^ v)
+                (Delaunay.delaunay_violation m));
+    }
+  in
+  Result.map
+    (fun () ->
+      {
+        w_name = "delaunay";
+        w_detector = Protect.scheme_name scheme;
+        w_txns = txns;
+        make;
+      })
+    (check_scheme ~what:"delaunay" make)
+
+(* ------------------------------------------------------------------ *)
+(* Mixed: two kvmaps and a set behind one composed detector            *)
+(* ------------------------------------------------------------------ *)
+
+let pmeth prefix (m : Invocation.meth) =
+  Invocation.meth ~mutates:m.Invocation.mutates
+    ~concrete:m.Invocation.concrete ~rollback_log:m.Invocation.rollback_log
+    (prefix ^ m.Invocation.name)
+    m.Invocation.arity
+
+(** Copy of [src] with every method (and both orientations of every
+    condition) renamed under [prefix] — the formulas themselves only speak
+    about argument/return positions, so they transfer verbatim. *)
+let prefixed_spec ~adt prefix (src : Spec.t) : Spec.t =
+  let dst =
+    Spec.create ~vfuns:src.Spec.vfuns ~adt
+      (List.map (pmeth prefix) (Spec.methods src))
+  in
+  List.iter
+    (fun ((m1, m2), f) ->
+      Spec.add_directed dst ~first:(prefix ^ m1) ~second:(prefix ^ m2) f)
+    (Spec.all_conditions src);
+  dst
+
+(** Union of per-structure specs, with every cross-structure method pair
+    declared to commute unconditionally (operations on different
+    structures are always independent). *)
+let union_spec ~adt (specs : Spec.t list) : Spec.t =
+  let dst =
+    Spec.create
+      ~vfuns:(List.concat_map (fun s -> s.Spec.vfuns) specs)
+      ~adt
+      (List.concat_map Spec.methods specs)
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun ((m1, m2), f) -> Spec.add_directed dst ~first:m1 ~second:m2 f)
+        (Spec.all_conditions s))
+    specs;
+  List.iteri
+    (fun i si ->
+      List.iteri
+        (fun j sj ->
+          if i <> j then
+            List.iter
+              (fun (m1 : Invocation.meth) ->
+                List.iter
+                  (fun (m2 : Invocation.meth) ->
+                    Spec.add_directed dst ~first:m1.Invocation.name
+                      ~second:m2.Invocation.name Formula.True)
+                  (Spec.methods sj))
+              (Spec.methods si))
+        specs)
+    specs;
+  dst
+
+(** Transactions spanning three structures — two kvmaps ([a.], [b.]) and
+    a set ([s.]) — each protected by its own detector, composed through
+    {!Detector.compose} with invocations routed by method-name prefix.
+    Exercises cross-detector composition: commits and aborts must reach
+    every member, while the explorer's independence relation (the union
+    spec) knows that operations on different structures always commute. *)
+let mixed ?(txns = 3) ?(ops_per_txn = 2) ?(keys = 3) ?(seed = 42)
+    (scheme : Protect.scheme) : (t, string) result =
+  let rng = Random.State.make [| 0x3171; seed |] in
+  let plan =
+    Array.init txns (fun _ ->
+        List.init ops_per_txn (fun _ ->
+            let k = Value.Int (Random.State.int rng keys) in
+            match Random.State.int rng 6 with
+            | 0 ->
+                ("a.", "put", [| k; Value.Int (Random.State.int rng 100) |])
+            | 1 -> ("a.", "remove", [| k |])
+            | 2 ->
+                ("b.", "put", [| k; Value.Int (Random.State.int rng 100) |])
+            | 3 -> ("b.", "get", [| k |])
+            | 4 -> ("s.", "add", [| k |])
+            | _ -> ("s.", "contains", [| k |])))
+  in
+  let simple =
+    match scheme with
+    | Protect.Abstract_lock | Protect.Sharded (Protect.Abstract_lock, _)
+    | Protect.Global_lock ->
+        true
+    | _ -> false
+  in
+  let kv_spec () =
+    if simple then Kvmap.simple_spec () else Kvmap.precise_spec ()
+  in
+  let set_spec () =
+    if simple then Iset.simple_spec () else Iset.precise_spec ()
+  in
+  let spec_a = prefixed_spec ~adt:"mixed_a" "a." (kv_spec ()) in
+  let spec_b = prefixed_spec ~adt:"mixed_b" "b." (kv_spec ()) in
+  let spec_s = prefixed_spec ~adt:"mixed_s" "s." (set_spec ()) in
+  let combined = union_spec ~adt:"mixed" [ spec_a; spec_b; spec_s ] in
+  (* member undo/redo hooks see prefixed invocations: strip before
+     delegating to the ADT's own plumbing *)
+  let strip (inv : Invocation.t) =
+    let n = inv.Invocation.meth.Invocation.name in
+    {
+      inv with
+      Invocation.meth =
+        {
+          inv.Invocation.meth with
+          Invocation.name = String.sub n 2 (String.length n - 2);
+        };
+    }
+  in
+  let member_hooks undo exec =
+    Gatekeeper.hooks
+      ~undo:(fun inv -> undo (strip inv))
+      ~redo:(fun inv ->
+        let i = strip inv in
+        ignore (exec i.Invocation.meth.Invocation.name i.Invocation.args))
+      (fun name _ -> raise (Formula.Unsupported ("mixed sfun " ^ name)))
+  in
+  let make () =
+    let ma = Kvmap.create ()
+    and mb = Kvmap.create ()
+    and ss = Iset.create () in
+    let det_of spec hooks =
+      Protect.protect ~obs:true ~spec ~adt:(Protect.adt ~hooks ()) scheme
+    in
+    let det_a =
+      det_of spec_a (member_hooks (Kvmap.undo ma) (Kvmap.exec ma))
+    in
+    let det_b =
+      det_of spec_b (member_hooks (Kvmap.undo mb) (Kvmap.exec mb))
+    in
+    let det_s = det_of spec_s (member_hooks (Iset.undo ss) (Iset.exec ss)) in
+    let base = Detector.compose [ det_a; det_b; det_s ] in
+    let dispatcher =
+      {
+        base with
+        Detector.name = Fmt.str "mixed(%s)" (Protect.scheme_name scheme);
+        on_invoke =
+          (fun inv exec ->
+            let d =
+              match inv.Invocation.meth.Invocation.name.[0] with
+              | 'a' -> det_a
+              | 'b' -> det_b
+              | _ -> det_s
+            in
+            d.Detector.on_invoke inv exec);
+      }
+    in
+    let exec_for prefix name args =
+      match prefix with
+      | "a." -> Kvmap.exec ma name args
+      | "b." -> Kvmap.exec mb name args
+      | _ -> Iset.exec ss name args
+    in
+    let undo_for prefix =
+      match prefix with
+      | "a." -> fun inv -> Kvmap.undo ma (strip inv)
+      | "b." -> fun inv -> Kvmap.undo mb (strip inv)
+      | _ -> fun inv -> Iset.undo ss (strip inv)
+    in
+    let body ops ~det ~txn =
+      List.iter
+        (fun (prefix, name, args) ->
+          call ~det ~txn ~undo:(undo_for prefix)
+            (Spec.find_meth combined (prefix ^ name))
+            args
+            (fun _ -> exec_for prefix name args))
+        ops
+    in
+    let model =
+      let a = Kvmap.model ()
+      and b = Kvmap.model ()
+      and s = Iset.model () in
+      {
+        History.reset =
+          (fun () ->
+            a.History.reset ();
+            b.History.reset ();
+            s.History.reset ());
+        apply =
+          (fun name args ->
+            let base = String.sub name 2 (String.length name - 2) in
+            match name.[0] with
+            | 'a' -> a.History.apply base args
+            | 'b' -> b.History.apply base args
+            | _ -> s.History.apply base args);
+        snapshot =
+          (fun () ->
+            Value.List
+              [
+                a.History.snapshot ();
+                b.History.snapshot ();
+                s.History.snapshot ();
+              ]);
+      }
+    in
+    let final () =
+      Value.List
+        [
+          Value.List
+            (List.map (fun (k, v) -> Value.Pair (k, v)) (Kvmap.bindings ma));
+          Value.List
+            (List.map (fun (k, v) -> Value.Pair (k, v)) (Kvmap.bindings mb));
+          Value.List (Iset.elements ss);
+        ]
+    in
+    {
+      Scheduler.det = dispatcher;
+      spec = Some combined;
+      tasks = Array.map (fun ops -> { Scheduler.body = body ops }) plan;
+      final;
+      oracle = serializability_oracle model final;
+    }
+  in
+  Result.map
+    (fun () ->
+      {
+        w_name = "mixed";
+        w_detector = Protect.scheme_name scheme;
+        w_txns = txns;
+        make;
+      })
+    (check_scheme ~what:"mixed" make)
+
+(* ------------------------------------------------------------------ *)
 (* By name                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -350,6 +661,12 @@ let by_name ?txns ?ops_per_txn ?seed name (scheme : Protect.scheme) :
   | "set" -> set ?txns ?ops_per_txn ?seed scheme
   | "kvmap" -> kvmap ?txns ?ops_per_txn ?seed scheme
   | "union-find" | "union_find" -> union_find ?txns ?ops_per_txn ?seed scheme
+  | "delaunay" ->
+      (* ops_per_txn has no meaning here: work per transaction is however
+         many cavities its share of the bad triangles expands to *)
+      ignore ops_per_txn;
+      delaunay ?txns ?seed scheme
+  | "mixed" -> mixed ?txns ?ops_per_txn ?seed scheme
   | "swap-set" | "swap_set" ->
       (* the swap workload fixes its own detector pair; [scheme] names
          what the rest of the sweep runs and is ignored here *)

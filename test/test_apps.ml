@@ -34,6 +34,123 @@ let test_mesh_shape () =
   let ws = Array.to_list (Array.map (fun (_, _, w) -> w) m.Mesh.edges) in
   check_int "weights distinct" (List.length ws) (List.length (List.sort_uniq Int.compare ws))
 
+let test_mesh_generate_invariants () =
+  (* grid edge count rows*(cols-1) + (rows-1)*cols, distinct permutation
+     weights, deterministic per seed *)
+  List.iter
+    (fun (rows, cols, seed) ->
+      let m = Mesh.generate ~rows ~cols ~seed () in
+      check_int "nodes" (rows * cols) m.Mesh.nodes;
+      check_int "edges"
+        ((rows * (cols - 1)) + ((rows - 1) * cols))
+        (Array.length m.Mesh.edges);
+      let ws =
+        Array.to_list (Array.map (fun (_, _, w) -> w) m.Mesh.edges)
+        |> List.sort compare
+      in
+      Alcotest.(check (list int))
+        "weights are a permutation of 0..m-1"
+        (List.init (Array.length m.Mesh.edges) Fun.id)
+        ws;
+      Array.iter
+        (fun (u, v, _) ->
+          check_bool "endpoints in range" true
+            (u >= 0 && u < m.Mesh.nodes && v >= 0 && v < m.Mesh.nodes && u <> v))
+        m.Mesh.edges;
+      let m' = Mesh.generate ~rows ~cols ~seed () in
+      check_bool "same seed, same mesh" true (m = m');
+      let m'' = Mesh.generate ~rows ~cols ~seed:(seed + 1) () in
+      check_bool "different seed, different weights" true (m <> m''))
+    [ (3, 4, 1); (5, 5, 7); (2, 9, 42) ]
+
+let test_mesh_points_invariants () =
+  List.iter
+    (fun (n, seed) ->
+      let ps = Mesh.points ~seed ~n ~size:100.0 () in
+      check_int "count" n (Array.length ps);
+      Array.iter
+        (fun (x, y) ->
+          check_bool "inside the margin band" true
+            (x >= 12.5 && x <= 87.5 && y >= 12.5 && y <= 87.5))
+        ps;
+      let distinct =
+        Array.to_list ps |> List.sort_uniq compare |> List.length
+      in
+      check_int "pairwise distinct" n distinct;
+      check_bool "same seed, same cloud" true (ps = Mesh.points ~seed ~n ~size:100.0 ()))
+    [ (5, 11); (40, 3); (100, 42) ]
+
+(* ------------------------------------------------------------- *)
+(* Delaunay mesh refinement                                       *)
+(* ------------------------------------------------------------- *)
+
+let test_delaunay_create_is_delaunay () =
+  List.iter
+    (fun (n, seed) ->
+      let t =
+        Delaunay.create ~size:100.0 (Mesh.points ~seed ~n ~size:100.0 ())
+      in
+      Alcotest.(check (option string))
+        (Fmt.str "n=%d seed=%d: triangulation is Delaunay" n seed)
+        None
+        (Delaunay.delaunay_violation t);
+      check_bool "area tiles the box" true
+        (Float.abs (Delaunay.area_total t -. 10000.0) < 1e-6))
+    [ (4, 11); (7, 42); (12, 3); (25, 7) ]
+
+let test_delaunay_refine_seq () =
+  (* sequential refinement reaches quiescence: no refinable bad triangle
+     is left, the Delaunay property holds, the box stays tiled *)
+  List.iter
+    (fun (n, seed) ->
+      let t =
+        Delaunay.create ~max_pts:128 ~size:100.0
+          (Mesh.points ~seed ~n ~size:100.0 ())
+      in
+      Delaunay.refine_seq t;
+      check_int (Fmt.str "n=%d seed=%d: no bad triangles left" n seed) 0
+        (List.length (Delaunay.bad_ids t));
+      Alcotest.(check (option string))
+        "refined mesh is Delaunay" None
+        (Delaunay.delaunay_violation t);
+      check_bool "area preserved" true
+        (Float.abs (Delaunay.area_total t -. 10000.0) < 1e-6);
+      check_bool "liveness set mirrors the triangle table" true
+        (List.sort compare (Triset.elements t.Delaunay.live)
+        = List.sort compare
+            (List.map fst (Delaunay.live_tris t))))
+    [ (7, 42); (12, 3); (20, 7) ]
+
+let test_delaunay_parallel_refine () =
+  (* the detector-mediated operator on real domains, every scheme: same
+     quiescence + Delaunay-property guarantees as sequential, with aborts
+     retried *)
+  List.iter
+    (fun scheme ->
+      let t =
+        Delaunay.create ~max_pts:128 ~size:100.0
+          (Mesh.points ~seed:42 ~n:12 ~size:100.0 ())
+      in
+      let det = Delaunay.detector ~obs:true t scheme in
+      let stats = Delaunay.refine ~processors:4 ~detector:det t in
+      let name = Protect.scheme_name scheme in
+      check_int (name ^ ": refined to quiescence") 0
+        (List.length (Delaunay.bad_ids t));
+      Alcotest.(check (option string))
+        (name ^ ": mesh is Delaunay") None
+        (Delaunay.delaunay_violation t);
+      check_bool (name ^ ": area preserved") true
+        (Float.abs (Delaunay.area_total t -. 10000.0) < 1e-6);
+      check_bool (name ^ ": work was committed") true
+        (stats.Executor.committed > 0))
+    [
+      Protect.Forward_gk;
+      Protect.General_gk;
+      Protect.Abstract_lock;
+      Protect.Global_lock;
+      Protect.Sharded (Protect.Forward_gk, 8);
+    ]
+
 let test_reference_maxflow () =
   (* hand-checked: classic 6-node example *)
   let edges =
@@ -320,4 +437,14 @@ let suite =
       test_set_micro_repeats_ordering;
     Alcotest.test_case "set-micro: final state agreement" `Quick
       test_set_micro_final_state;
+    Alcotest.test_case "mesh: generate invariants" `Quick
+      test_mesh_generate_invariants;
+    Alcotest.test_case "mesh: point cloud invariants" `Quick
+      test_mesh_points_invariants;
+    Alcotest.test_case "delaunay: construction is Delaunay" `Quick
+      test_delaunay_create_is_delaunay;
+    Alcotest.test_case "delaunay: sequential refinement" `Quick
+      test_delaunay_refine_seq;
+    Alcotest.test_case "delaunay: parallel refinement all schemes" `Quick
+      test_delaunay_parallel_refine;
   ]

@@ -46,56 +46,8 @@ let test_guard_mutual_exclusion () =
   List.iter Domain.join ds;
   check_int "4 domains x 5000 guarded increments" 20_000 !counter
 
-(* ------------------------------------------------------------- *)
-(* Wsdeque                                                        *)
-(* ------------------------------------------------------------- *)
-
-let test_wsdeque_order () =
-  let d = Wsdeque.create () in
-  Wsdeque.push_back_all d [ 1; 2; 3 ];
-  Wsdeque.push_front d 0;
-  check_int "size" 4 (Wsdeque.size d);
-  (* steal before any pop: a pop migrates the back list to the front, after
-     which thieves and the owner contend on the same end *)
-  Alcotest.(check (option int)) "steal takes the newest-pushed back" (Some 3)
-    (Wsdeque.steal d);
-  Alcotest.(check (option int)) "front pops first" (Some 0) (Wsdeque.pop d);
-  Alcotest.(check (option int)) "then FIFO" (Some 1) (Wsdeque.pop d);
-  Alcotest.(check (option int)) "pop drains the rest" (Some 2) (Wsdeque.pop d);
-  Alcotest.(check (option int)) "empty pop" None (Wsdeque.pop d);
-  Alcotest.(check (option int)) "empty steal" None (Wsdeque.steal d);
-  check_int "empty size" 0 (Wsdeque.size d)
-
-let test_wsdeque_steal_falls_back_to_front () =
-  let d = Wsdeque.create () in
-  Wsdeque.push_front d 1;
-  Alcotest.(check (option int)) "steal from front when back empty" (Some 1)
-    (Wsdeque.steal d)
-
-let test_wsdeque_concurrent_drain () =
-  (* one producer deque, three thieves + the owner: every item taken
-     exactly once *)
-  let d = Wsdeque.create () in
-  let n = 10_000 in
-  Wsdeque.push_back_all d (List.init n Fun.id);
-  let taken = Atomic.make 0 in
-  let drain take () =
-    let rec go () =
-      match take d with
-      | Some _ ->
-          Atomic.incr taken;
-          go ()
-      | None -> ()
-    in
-    go ()
-  in
-  let ds =
-    List.init 3 (fun _ -> Domain.spawn (drain Wsdeque.steal))
-  in
-  drain Wsdeque.pop ();
-  List.iter Domain.join ds;
-  check_int "each item taken exactly once" n (Atomic.get taken);
-  check_int "deque empty" 0 (Wsdeque.size d)
+(* (The Wsdeque unit tests moved to test_wsdeque.ml when the deque became
+   its own library under lib/wsdeque.) *)
 
 (* ------------------------------------------------------------- *)
 (* Honest stats (satellite: rounds/makespan/parallelism)          *)
@@ -698,10 +650,6 @@ let suite =
       test_guard_protect_all_dedups;
     Alcotest.test_case "guard: mutual exclusion across domains" `Quick
       test_guard_mutual_exclusion;
-    Alcotest.test_case "wsdeque: order" `Quick test_wsdeque_order;
-    Alcotest.test_case "wsdeque: steal falls back to front" `Quick
-      test_wsdeque_steal_falls_back_to_front;
-    Alcotest.test_case "wsdeque: concurrent drain" `Quick test_wsdeque_concurrent_drain;
     Alcotest.test_case "domains: honest stats" `Quick test_domains_stats_honest;
     Alcotest.test_case "domains: raising commit hook is atomic" `Quick
       test_commit_hook_failure_is_atomic;

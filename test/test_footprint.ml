@@ -60,6 +60,11 @@ let expected =
       [ ("add", Some "v1[0]"); ("remove", Some "v1[0]"); ("contains", Some "v1[0]") ]
     );
     ("union_find.spec", [ ("union", None); ("find", None); ("create", None) ]);
+    ( "triset.spec",
+      (* the Delaunay worklist: the cavity footprint is the id set, so
+         every method keys on its id argument *)
+      [ ("take", Some "v1[0]"); ("add", Some "v1[0]"); ("contains", Some "v1[0]") ]
+    );
   ]
 
 let test_shipped_specs () =
@@ -131,6 +136,47 @@ let test_shard_of () =
     (Footprint.shard_of kfp ~nshards (Invocation.make ~txn:1 nearest [| Value.Int 3 |])
     = None)
 
+(* The mixed workload's union spec lives outside the .spec files (its
+   prefixed method names aren't spec-lang identifiers), so its footprint
+   expectations are checked here: every member method keys on the first
+   argument of its unprefixed original, and the cross-structure
+   commute-always pairs must not demote anything to the overflow shard. *)
+let test_mixed_workload_footprint () =
+  let w =
+    match
+      Commlat_sched.Workload.mixed ~txns:2 ~ops_per_txn:2 ~keys:2 ~seed:42
+        Protect.Forward_gk
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let spec =
+    match (w.Commlat_sched.Workload.make ()).Commlat_sched.Scheduler.spec with
+    | Some s -> s
+    | None -> Alcotest.fail "mixed workload must carry its union spec"
+  in
+  let fp = Footprint.analyze spec in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) ("mixed: " ^ m ^ " keyed") true (Footprint.keyed fp m);
+      Alcotest.(check string)
+        ("mixed: " ^ m ^ " key term")
+        "v1[0]"
+        (match Footprint.key_term fp m with
+        | Some t -> Fmt.str "%a" Formula.pp_term t
+        | None -> "<keyless>"))
+    [
+      "a.put"; "a.get"; "a.remove"; "b.put"; "b.get"; "b.remove";
+      "s.add"; "s.remove"; "s.contains";
+    ];
+  (* size reads the whole map: keyless in kvmap.spec, keyless here too *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) ("mixed: " ^ m ^ " keyless") false
+        (Footprint.keyed fp m))
+    [ "a.size"; "b.size" ];
+  Alcotest.(check bool) "mixed: not all keyless" false (Footprint.all_keyless fp)
+
 let counter snap name =
   match List.assoc_opt name snap.Obs.counters with Some n -> n | None -> 0
 
@@ -189,6 +235,8 @@ let suite =
   [
     Alcotest.test_case "shipped specs footprints" `Quick test_shipped_specs;
     Alcotest.test_case "shard_of consistency" `Quick test_shard_of;
+    Alcotest.test_case "mixed workload footprints" `Quick
+      test_mixed_workload_footprint;
     Alcotest.test_case "keyed workload routing" `Quick test_runtime_keyed_routing;
     Alcotest.test_case "keyless workload routing" `Quick test_runtime_keyless_routing;
   ]

@@ -17,6 +17,7 @@ let () =
       ("general-gatekeeper", Test_general_gatekeeper.suite);
       ("executor", Test_executor.suite);
       ("footprint", Test_footprint.suite);
+      ("wsdeque", Test_wsdeque.suite);
       ("domains", Test_domains.suite);
       ("runtime", Test_runtime.suite);
       ("stm", Test_stm.suite);
@@ -27,6 +28,7 @@ let () =
       ("adaptive", Test_adaptive.suite);
       ("obs", Test_obs.suite);
       ("sched", Test_sched.suite);
+      ("pexplore", Test_pexplore.suite);
       ("synth", Test_synth.suite);
       ("server", Test_server.suite);
     ]

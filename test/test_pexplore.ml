@@ -1,0 +1,220 @@
+(* Parallel DPOR explorer (lib/sched/pexplore): sequential equivalence at
+   domains=1, domain-count invariance of explored states and violations,
+   canonical-trace dedup keys, and the seeded ABBA bug under parallel
+   search. *)
+
+open Commlat_runtime
+open Commlat_sched
+
+let mk_set ?(txns = 3) ?(keys = 3) ?(seed = 7) scheme =
+  match Workload.set ~txns ~ops_per_txn:2 ~keys ~seed scheme with
+  | Ok w -> w
+  | Error e -> Alcotest.fail e
+
+(* union-find under the general gatekeeper branches without abort/retry
+   tails, so these seeds exhaust their (nontrivial) schedule trees *)
+let mk_uf seed =
+  match Workload.union_find ~txns:2 ~seed Protect.General_gk with
+  | Ok w -> w
+  | Error e -> Alcotest.fail e
+
+let pconfig ?(por = true) ?(max_schedules = 2000) ?(dedup = true) domains =
+  {
+    Pexplore.base = { Explore.default_config with por; max_schedules };
+    domains;
+    dedup;
+  }
+
+(* ---- domains=1 (dedup off) is the sequential explorer, counter for
+   counter and verdict for verdict ---- *)
+
+let test_seq_equiv_clean () =
+  List.iter
+    (fun scheme ->
+      let w = mk_set scheme in
+      let name = Protect.scheme_name scheme in
+      let cfg = { Explore.default_config with max_schedules = 400 } in
+      let rs = Explore.explore ~config:cfg w.Workload.make in
+      let rp =
+        Pexplore.explore
+          ~config:{ Pexplore.base = cfg; domains = 1; dedup = false }
+          w.Workload.make
+      in
+      Alcotest.(check bool)
+        (name ^ ": verdict matches sequential")
+        true
+        (rs.Explore.verdict = rp.Pexplore.verdict);
+      Alcotest.(check int)
+        (name ^ ": runs match sequential")
+        rs.Explore.c.Explore.runs rp.Pexplore.c.Explore.runs;
+      Alcotest.(check int)
+        (name ^ ": pruned match sequential")
+        rs.Explore.c.Explore.pruned rp.Pexplore.c.Explore.pruned;
+      Alcotest.(check int)
+        (name ^ ": sleep hits match sequential")
+        rs.Explore.c.Explore.sleep_hits rp.Pexplore.c.Explore.sleep_hits;
+      Alcotest.(check int)
+        (name ^ ": steps match sequential")
+        rs.Explore.c.Explore.steps rp.Pexplore.c.Explore.steps;
+      Alcotest.(check bool)
+        (name ^ ": exhausted matches sequential")
+        rs.Explore.exhausted rp.Pexplore.exhausted)
+    [ Protect.Forward_gk; Protect.Abstract_lock ]
+
+let test_seq_equiv_abba () =
+  let buggy () = Seeded.workload ~buggy:true () in
+  let rs = Explore.explore buggy in
+  let rp =
+    Pexplore.explore
+      ~config:
+        { Pexplore.base = Explore.default_config; domains = 1; dedup = false }
+      buggy
+  in
+  match (rs.Explore.verdict, rp.Pexplore.verdict) with
+  | Some fs, Some fp ->
+      Alcotest.(check string) "same kind" fs.Explore.f_kind fp.Explore.f_kind;
+      Alcotest.(check (list int))
+        "same shrunk schedule" fs.Explore.f_schedule fp.Explore.f_schedule;
+      Alcotest.(check string) "same trace" fs.Explore.f_trace fp.Explore.f_trace;
+      Alcotest.(check int)
+        "same runs before the failure" rs.Explore.c.Explore.runs
+        rp.Pexplore.c.Explore.runs
+  | _ -> Alcotest.fail "both explorers must find the seeded ABBA deadlock"
+
+(* ---- the search tree is fixed, so states and violations cannot depend
+   on the domain count (the BENCH gate, in-process) ---- *)
+
+let test_domain_count_invariance () =
+  let workloads =
+    [
+      ("uf/s1", fun () -> mk_uf 1);
+      ("uf/s10", fun () -> mk_uf 10);
+      ( "set/fwd-gk",
+        fun () -> mk_set ~txns:2 ~keys:4 ~seed:1 Protect.Forward_gk );
+      ( "delaunay/s17",
+        fun () ->
+          match
+            Workload.delaunay ~txns:2 ~points:6 ~seed:17 ~max_pts:24
+              Protect.Forward_gk
+          with
+          | Ok w -> w
+          | Error e -> Alcotest.fail e );
+      ( "mixed/s42",
+        fun () ->
+          match
+            Workload.mixed ~txns:3 ~ops_per_txn:2 ~keys:3 ~seed:42
+              Protect.Forward_gk
+          with
+          | Ok w -> w
+          | Error e -> Alcotest.fail e );
+    ]
+  in
+  List.iter
+    (fun (name, w) ->
+      let base =
+        Pexplore.explore
+          ~config:(pconfig ~max_schedules:25000 1)
+          (w ()).Workload.make
+      in
+      Alcotest.(check bool) (name ^ ": baseline exhausts") true
+        base.Pexplore.exhausted;
+      List.iter
+        (fun domains ->
+          let r =
+            Pexplore.explore
+              ~config:(pconfig ~max_schedules:25000 domains)
+              (w ()).Workload.make
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s: exhausted at %d domains" name domains)
+            true r.Pexplore.exhausted;
+          Alcotest.(check int)
+            (Fmt.str "%s: states at %d domains match sequential" name domains)
+            base.Pexplore.states r.Pexplore.states;
+          Alcotest.(check bool)
+            (Fmt.str "%s: no violation at %d domains" name domains)
+            true
+            (r.Pexplore.verdict = None && base.Pexplore.verdict = None))
+        [ 2; 4 ])
+    workloads
+
+(* ---- canonical keys quotient by Mazurkiewicz equivalence: turning POR
+   off explores more interleavings but the same set of traces ---- *)
+
+let test_states_por_invariant () =
+  let w () = mk_uf 1 in
+  let rp =
+    Pexplore.explore
+      ~config:(pconfig ~por:true ~max_schedules:25000 1)
+      (w ()).Workload.make
+  in
+  let rn =
+    Pexplore.explore
+      ~config:(pconfig ~por:false ~dedup:false ~max_schedules:25000 1)
+      (w ()).Workload.make
+  in
+  Alcotest.(check bool) "por run exhausts" true rp.Pexplore.exhausted;
+  Alcotest.(check bool) "no-por run exhausts" true rn.Pexplore.exhausted;
+  Alcotest.(check int)
+    (Fmt.str "same canonical states with and without POR (%d runs vs %d)"
+       rp.Pexplore.c.Explore.runs rn.Pexplore.c.Explore.runs)
+    rp.Pexplore.states rn.Pexplore.states;
+  (* without pruning, equivalent interleavings are re-executed — the
+     canonical key must recognize them *)
+  Alcotest.(check bool)
+    (Fmt.str "no-por run dedups equivalent traces (%d hits)"
+       rn.Pexplore.dedup_hits)
+    true
+    (rn.Pexplore.dedup_hits > 0)
+
+(* ---- the seeded ABBA bug under parallel search ---- *)
+
+let test_abba_parallel () =
+  let buggy () = Seeded.workload ~buggy:true () in
+  let r = Pexplore.explore ~config:(pconfig 4) buggy in
+  match r.Pexplore.verdict with
+  | None -> Alcotest.fail "seeded ABBA deadlock not found at 4 domains"
+  | Some f ->
+      Alcotest.(check string) "kind is deadlock" "deadlock" f.Explore.f_kind;
+      Alcotest.(check bool)
+        "shrunk <= original" true
+        (List.length f.Explore.f_schedule <= f.Explore.f_shrunk_from);
+      let rr = Explore.replay ~schedule:f.Explore.f_schedule buggy in
+      (match rr.Scheduler.status with
+      | Scheduler.Deadlock _ -> ()
+      | st ->
+          Alcotest.fail
+            (Fmt.str "shrunk schedule replayed to %a, not deadlock"
+               Scheduler.pp_status st))
+
+(* ---- budget honesty across domains: the ticket counter caps runs
+   exactly and reports the cut ---- *)
+
+let test_budget_exact () =
+  List.iter
+    (fun domains ->
+      let w = mk_set ~keys:2 ~seed:3 Protect.Forward_gk in
+      let r =
+        Pexplore.explore
+          ~config:(pconfig ~max_schedules:5 domains)
+          w.Workload.make
+      in
+      Alcotest.(check int)
+        (Fmt.str "exactly 5 runs at %d domains" domains)
+        5 r.Pexplore.c.Explore.runs;
+      Alcotest.(check bool)
+        (Fmt.str "budget cut reported at %d domains" domains)
+        false r.Pexplore.exhausted)
+    [ 1; 2; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "pexplore-seq-equiv-clean" `Quick test_seq_equiv_clean;
+    Alcotest.test_case "pexplore-seq-equiv-abba" `Quick test_seq_equiv_abba;
+    Alcotest.test_case "pexplore-domain-invariance" `Quick
+      test_domain_count_invariance;
+    Alcotest.test_case "pexplore-states-por-invariant" `Quick
+      test_states_por_invariant;
+    Alcotest.test_case "pexplore-abba-parallel" `Quick test_abba_parallel;
+    Alcotest.test_case "pexplore-budget-exact" `Quick test_budget_exact;
+  ]

@@ -126,6 +126,110 @@ let test_por_contended () =
     true
     (rp.Explore.c.Explore.runs <= rn.Explore.c.Explore.runs)
 
+(* ---- delaunay: real cavity transactions under the explorer ---- *)
+
+let test_delaunay_swept () =
+  (* every explored interleaving must be serializable AND leave a Delaunay
+     mesh (the oracle checks both); seed 17 is a nontrivial exhaustible
+     tree, seed 42 collapses to one schedule via commutativity pruning *)
+  List.iter
+    (fun (seed, scheme, expect_branching) ->
+      let w =
+        match
+          Workload.delaunay ~txns:2 ~points:6 ~seed ~max_pts:24 scheme
+        with
+        | Ok w -> w
+        | Error e -> Alcotest.fail e
+      in
+      let name = Fmt.str "delaunay s%d %s" seed (Protect.scheme_name scheme) in
+      let cfg = { Explore.default_config with max_schedules = 3000 } in
+      let r = Explore.explore ~config:cfg w.Workload.make in
+      Alcotest.(check bool)
+        (name ^ ": no counterexample") true (r.Explore.verdict = None);
+      Alcotest.(check bool) (name ^ ": exhausted") true r.Explore.exhausted;
+      if expect_branching then
+        Alcotest.(check bool)
+          (Fmt.str "%s: cavity overlap branches the search (%d runs)" name
+             r.Explore.c.Explore.runs)
+          true
+          (r.Explore.c.Explore.runs > 1))
+    [
+      (17, Protect.Forward_gk, true);
+      (17, Protect.General_gk, true);
+      (42, Protect.Forward_gk, false);
+      (42, Protect.Abstract_lock, false);
+      (42, Protect.Global_lock, false);
+    ]
+
+let test_delaunay_disjoint_cavities_pruned () =
+  (* seed 42's two transactions refine disjoint cavities: the precise
+     triset spec proves every cross-transaction pair independent, so POR
+     collapses the sweep to a single schedule *)
+  let w =
+    match
+      Workload.delaunay ~txns:2 ~points:6 ~seed:42 ~max_pts:24
+        Protect.Forward_gk
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let r = Explore.explore w.Workload.make in
+  Alcotest.(check int) "one schedule suffices" 1 r.Explore.c.Explore.runs;
+  Alcotest.(check bool)
+    (Fmt.str "commutativity pruned the rest (%d)" r.Explore.c.Explore.pruned)
+    true
+    (r.Explore.c.Explore.pruned > 0)
+
+(* ---- mixed: cross-detector composition under the explorer ---- *)
+
+let test_mixed_swept () =
+  List.iter
+    (fun scheme ->
+      let w =
+        match
+          Workload.mixed ~txns:3 ~ops_per_txn:2 ~keys:3 ~seed:42 scheme
+        with
+        | Ok w -> w
+        | Error e -> Alcotest.fail e
+      in
+      let name = Fmt.str "mixed %s" (Protect.scheme_name scheme) in
+      let r = Explore.explore w.Workload.make in
+      Alcotest.(check bool)
+        (name ^ ": no counterexample") true (r.Explore.verdict = None);
+      Alcotest.(check bool) (name ^ ": exhausted") true r.Explore.exhausted;
+      (* the union spec declares cross-structure operations independent,
+         so pruning must fire across member detectors *)
+      Alcotest.(check bool)
+        (Fmt.str "%s: cross-structure pruning (%d)" name
+           r.Explore.c.Explore.pruned)
+        true
+        (r.Explore.c.Explore.pruned > 0))
+    [
+      Protect.Forward_gk;
+      Protect.General_gk;
+      Protect.Abstract_lock;
+      Protect.Global_lock;
+    ]
+
+let test_mixed_contended_branches () =
+  (* seed 3 puts both transactions on the same keys: the search must
+     branch, and every explored interleaving must stay serializable
+     against the three-model composition *)
+  let w =
+    match
+      Workload.mixed ~txns:2 ~ops_per_txn:2 ~keys:2 ~seed:3 Protect.Forward_gk
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let cfg = { Explore.default_config with max_schedules = 150 } in
+  let r = Explore.explore ~config:cfg w.Workload.make in
+  Alcotest.(check bool) "no counterexample" true (r.Explore.verdict = None);
+  Alcotest.(check bool)
+    (Fmt.str "contention branches the search (%d runs)" r.Explore.c.Explore.runs)
+    true
+    (r.Explore.c.Explore.runs > 1)
+
 (* ---- obs counters surface the exploration stats ---- *)
 
 let test_obs_counters () =
@@ -292,6 +396,12 @@ let suite =
     Alcotest.test_case "explore-clean" `Quick test_explore_clean;
     Alcotest.test_case "por-prunes" `Quick test_por_prunes;
     Alcotest.test_case "por-contended" `Quick test_por_contended;
+    Alcotest.test_case "delaunay-swept" `Quick test_delaunay_swept;
+    Alcotest.test_case "delaunay-disjoint-pruned" `Quick
+      test_delaunay_disjoint_cavities_pruned;
+    Alcotest.test_case "mixed-swept" `Quick test_mixed_swept;
+    Alcotest.test_case "mixed-contended-branches" `Quick
+      test_mixed_contended_branches;
     Alcotest.test_case "obs-counters" `Quick test_obs_counters;
     Alcotest.test_case "swap-protocol-swept" `Quick test_swap_protocol_swept;
     Alcotest.test_case "swap-default-policy" `Quick test_swap_default_policy;
